@@ -1,0 +1,34 @@
+"""Benchmark fixtures.
+
+Benchmarks run at a larger scale than tests (150k transceivers,
+0.05-degree WHP grid) and print each reproduced table/figure next to the
+paper's numbers; the printed output is the source for EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SyntheticUS, default_universe
+
+
+@pytest.fixture(scope="session")
+def universe() -> SyntheticUS:
+    """The benchmark-scale universe (built once per session)."""
+    u = default_universe()
+    # Touch the heavy components so individual benchmarks measure the
+    # analysis, not the one-time synthetic-US construction.
+    u.population
+    u.whp
+    u.cells
+    return u
+
+
+def print_result(title: str, body: str) -> None:
+    """Uniform section printing for the benchmark harness."""
+    print(f"\n===== {title} =====")
+    print(body)

@@ -1,0 +1,30 @@
+"""Ablation: §3.8 buffer-radius sweep.
+
+The paper fixes the buffer at 0.5 miles; this sweep shows the
+accuracy/over-labeling trade-off the choice sits on.
+"""
+
+from conftest import print_result
+
+from repro.core.extension import extend_very_high
+from repro.core.report import format_table
+
+
+def _sweep(universe):
+    rows = []
+    for radius in (0.25, 0.5, 1.0):
+        r = extend_very_high(universe, radius_miles=radius)
+        rows.append([f"{radius:.2f} mi", f"{r.vh_after:,}",
+                     f"{r.total_after:,}",
+                     f"{r.validation_after.accuracy:.0%}"])
+    return rows
+
+
+def test_ablation_buffer(benchmark, universe):
+    rows = benchmark.pedantic(_sweep, args=(universe,),
+                              rounds=1, iterations=1)
+    print_result("ABLATION — buffer radius sweep", format_table(
+        ["Radius", "VH after", "Total after", "Accuracy"], rows))
+
+    vh = [int(r[1].replace(",", "")) for r in rows]
+    assert vh[0] <= vh[1] <= vh[2]   # larger buffer, more labeled

@@ -1,0 +1,27 @@
+"""Ablation: §3.11 escape-probability model on top of static WHP."""
+
+from conftest import print_result
+
+from repro.core.escape import EscapeModel, escape_adjusted_risk
+from repro.core.report import format_table
+
+
+def _sweep(universe):
+    rows = []
+    for p in (0.2, 0.05, 0.02):
+        r = escape_adjusted_risk(universe, reach_probability=p)
+        rows.append([f"{p:.2f}", f"{r.static_at_risk:,}",
+                     f"{r.escape_adjusted_at_risk:,}",
+                     f"{r.added_transceivers:,}"])
+    return rows
+
+
+def test_ablation_escape(benchmark, universe):
+    rows = benchmark.pedantic(_sweep, args=(universe,),
+                              rounds=1, iterations=1)
+    print_result("ABLATION — escape model (HOT) reach sweep",
+                 format_table(["P(reach)", "Static", "Adjusted",
+                               "Added"], rows))
+
+    added = [int(r[3].replace(",", "")) for r in rows]
+    assert added[0] <= added[1] <= added[2]

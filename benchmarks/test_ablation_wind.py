@@ -1,0 +1,37 @@
+"""Ablation: wind-driven (elongated) vs isotropic fire perimeters.
+
+Santa Ana events stretch perimeters several-fold along the wind; this
+ablation quantifies how footprint shape (same total acreage) changes
+the number of transceivers swept.
+"""
+
+from conftest import print_result
+
+from repro.core.overlay import overlay_fires
+from repro.data.wildfires import generate_fire_season
+
+
+def _run(universe):
+    iso = generate_fire_season(2018, universe.whp, seed=4242)
+    windy = generate_fire_season(2018, universe.whp, seed=4242,
+                                 elongation_range=(2.0, 4.0))
+    iso_count = overlay_fires(universe.cells, iso.fires).n_in_perimeter
+    windy_count = overlay_fires(universe.cells,
+                                windy.fires).n_in_perimeter
+    return iso_count, windy_count, iso.total_acres(), windy.total_acres()
+
+
+def test_ablation_wind(benchmark, universe):
+    iso_count, windy_count, iso_acres, windy_acres = benchmark.pedantic(
+        _run, args=(universe,), rounds=1, iterations=1)
+    scale = universe.universe_scale
+    print_result(
+        "ABLATION — wind-driven perimeters",
+        f"isotropic: {round(iso_count * scale):,} transceivers swept\n"
+        f"elongated (2-4x): {round(windy_count * scale):,} swept\n"
+        f"(equal acreage: {iso_acres / 1e6:.2f}M vs "
+        f"{windy_acres / 1e6:.2f}M acres)")
+
+    # acreage is identical by construction
+    assert abs(iso_acres - windy_acres) < 1e-3 * iso_acres
+    assert iso_count >= 0 and windy_count >= 0

@@ -1,0 +1,21 @@
+"""Extension: per-county historical exposure ranking."""
+
+from conftest import print_result
+
+from repro.core.county_exposure import county_exposure_analysis
+from repro.core.report import format_table
+
+
+def test_ext_county_exposure(benchmark, universe):
+    rows = benchmark.pedantic(county_exposure_analysis,
+                              args=(universe,), kwargs={"top_n": 15},
+                              rounds=1, iterations=1)
+    body = format_table(
+        ["County", "State", "Population", "Exposures", "Years"],
+        [[r.county, r.state, f"{r.population:,}",
+          f"{r.transceiver_exposures:,}", r.years_touched]
+         for r in rows])
+    print_result("EXTENSION — county exposure ranking", body)
+
+    assert rows
+    assert rows[0].transceiver_exposures >= rows[-1].transceiver_exposures

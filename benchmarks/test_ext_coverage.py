@@ -1,0 +1,34 @@
+"""Extension: coverage-loss analysis (§3.11 alternate approach)."""
+
+from conftest import print_result
+
+from repro.core.coverage import coverage_loss_analysis
+from repro.core.report import format_table
+from repro.data.whp import WHPClass
+
+
+def _run(universe):
+    return {floor: coverage_loss_analysis(universe, hazard_floor=floor)
+            for floor in (WHPClass.MODERATE, WHPClass.HIGH,
+                          WHPClass.VERY_HIGH)}
+
+
+def test_ext_coverage(benchmark, universe):
+    results = benchmark.pedantic(_run, args=(universe,),
+                                 rounds=1, iterations=1)
+    rows = []
+    for floor, r in results.items():
+        rows.append([floor.name, f"{r.sites_lost:,}",
+                     f"{r.population_lost / 1e6:.1f}M",
+                     f"{r.lost_share:.2%}"])
+    body = format_table(["Losing sites >=", "Sites", "People losing "
+                         "coverage", "Share of US"], rows)
+    base = results[WHPClass.MODERATE]
+    body += (f"\nbaseline coverage: "
+             f"{base.covered_share_before:.0%} of population")
+    print_result("EXTENSION — coverage loss (S3.11)", body)
+
+    m = results[WHPClass.MODERATE]
+    vh = results[WHPClass.VERY_HIGH]
+    assert vh.population_lost <= m.population_lost
+    assert m.covered_share_before > 0.7

@@ -1,0 +1,18 @@
+"""Extension: seed-sensitivity sweep of the headline metrics."""
+
+from conftest import print_result
+
+from repro.core.sensitivity import seed_sweep
+
+
+def test_ext_sensitivity(benchmark):
+    report = benchmark.pedantic(
+        seed_sweep,
+        kwargs={"n_transceivers": 40_000, "n_seeds": 3,
+                "validation_oversample": 8},
+        rounds=1, iterations=1)
+    print_result("EXTENSION — seed sensitivity", report.render())
+
+    # The calibrated metric is tight; rare-event metrics are looser.
+    assert report.metrics["at_risk_total"].rel_std < 0.15
+    assert report.metrics["in_perimeters"].rel_std < 1.0

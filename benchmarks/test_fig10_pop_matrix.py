@@ -1,0 +1,16 @@
+"""Figure 10: transceivers by WHP class and county density (§3.6)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.population_impact import population_impact_analysis
+
+
+def test_fig10_pop_matrix(benchmark, universe):
+    impact = benchmark.pedantic(population_impact_analysis,
+                                args=(universe,), rounds=1, iterations=1)
+    print_result("FIGURE 10 — WHP x density matrix",
+                 report.render_figure10(impact))
+
+    assert 15 <= impact.n_vh_pop_counties <= 35      # paper: 23
+    assert 20_000 < impact.at_risk_in_vh_pop_counties < 200_000

@@ -1,0 +1,13 @@
+"""Figure 11: three map panels of at-risk x density subsets (§3.6)."""
+
+from conftest import print_result
+
+from repro.viz.figures import figure11
+
+
+def test_fig11_pop_maps(benchmark, universe):
+    art = benchmark.pedantic(figure11, args=(universe,),
+                             rounds=1, iterations=1)
+    print_result("FIGURE 11 — density subsets", art.ascii_art)
+    assert art.data["vh_both"] <= art.data["vh_pop"] <= art.data["all"]
+    assert art.data["all"] > 0

@@ -1,0 +1,18 @@
+"""Figure 12: metro areas with the most at-risk transceivers (§3.7)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.metro import metro_risk_analysis
+
+
+def test_fig12_metros(benchmark, universe):
+    rows = benchmark.pedantic(metro_risk_analysis, args=(universe,),
+                              rounds=1, iterations=1)
+    print_result("FIGURE 12 — metro ranking",
+                 report.render_figure12(rows))
+
+    names = [r.metro for r in rows]
+    assert "Los Angeles" in names[:3]
+    ny = next(r for r in rows if r.metro == "New York City")
+    assert ny.total < rows[0].total / 5

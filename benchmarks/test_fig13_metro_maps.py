@@ -1,0 +1,14 @@
+"""Figure 13: WHP windows around SF/Sacramento, LA/SD, Orlando (§3.7)."""
+
+from conftest import print_result
+
+from repro.viz.figures import figure13
+
+
+def test_fig13_metro_maps(benchmark, universe):
+    art = benchmark.pedantic(figure13, args=(universe,),
+                             rounds=1, iterations=1)
+    print_result("FIGURE 13 — metro WHP windows", art.ascii_art)
+    assert "Los Angeles/San Diego" in art.ascii_art
+    # the LA/SD window shows at-risk classes (WUI rings)
+    assert any(c in art.ascii_art for c in "mH#")

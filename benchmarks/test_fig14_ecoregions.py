@@ -1,0 +1,17 @@
+"""Figure 14 / §3.9: ecoregion fire projections, SLC-Denver corridor."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.future import future_risk_analysis
+
+
+def test_fig14_ecoregions(benchmark, universe):
+    rows = benchmark.pedantic(future_risk_analysis, args=(universe,),
+                              rounds=1, iterations=1)
+    print_result("FIGURE 14 — ecoregion projections",
+                 report.render_ecoregions(rows))
+
+    assert len(rows) == 13
+    assert rows[0].delta_2040_pct == 240.0
+    assert rows[-1].delta_2040_pct == -119.0

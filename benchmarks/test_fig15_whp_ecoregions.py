@@ -1,0 +1,15 @@
+"""Figure 15: WHP with ecoregions, SLC-Denver corridor (§3.9)."""
+
+from conftest import print_result
+
+from repro.viz.figures import figure15
+
+
+def test_fig15_whp_ecoregions(benchmark, universe):
+    art = benchmark.pedantic(figure15, args=(universe,),
+                             rounds=1, iterations=1)
+    print_result("FIGURE 15 — corridor WHP window", art.ascii_art)
+    # the Wasatch front ecoregion contains at-risk infrastructure
+    at_risk = dict(art.data)
+    assert at_risk.get("342B", 0) + at_risk.get("341A", 0) \
+        + at_risk.get("M331E", 0) > 0

@@ -1,0 +1,14 @@
+"""Figure 2: all cell transceivers within the United States."""
+
+from conftest import print_result
+
+from repro.viz.figures import figure2
+
+
+def test_fig2_cell_map(benchmark, universe):
+    art = benchmark.pedantic(figure2, args=(universe,),
+                             rounds=1, iterations=1)
+    print_result("FIGURE 2 — all transceivers", art.ascii_art)
+    assert art.data["n"] == len(universe.cells)
+    # urban density structure: the map uses more than two glyph levels
+    assert len(set(art.ascii_art.replace("\n", ""))) > 3

@@ -1,0 +1,14 @@
+"""Figure 3: wildfire perimeters from 2000 to 2018."""
+
+from conftest import print_result
+
+from repro.viz.figures import figure3
+
+
+def test_fig3_fire_map(benchmark, universe):
+    art = benchmark.pedantic(figure3, args=(universe,),
+                             rounds=1, iterations=1)
+    print_result("FIGURE 3 — wildfire perimeters 2000-2018",
+                 art.ascii_art)
+    assert art.data["n_fires"] > 3000          # ~19 seasons of fires
+    assert art.data["acres"] > 120e6           # ~133M acres total

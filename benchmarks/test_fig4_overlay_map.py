@@ -1,0 +1,14 @@
+"""Figure 4: cell transceivers in wildfire perimeters 2000-2018."""
+
+from conftest import print_result
+
+from repro.viz.figures import figure4
+
+
+def test_fig4_overlay_map(benchmark, universe):
+    art = benchmark.pedantic(figure4, args=(universe,),
+                             rounds=1, iterations=1)
+    body = art.ascii_art + (
+        f"\nscaled total: {art.data['scaled_total']:,} | paper: >27,000")
+    print_result("FIGURE 4 — transceivers in perimeters", body)
+    assert art.data["scaled_total"] > 10_000

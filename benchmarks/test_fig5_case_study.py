@@ -1,0 +1,17 @@
+"""Figure 5: cell site outages during the 2019 PG&E blackouts (§3.2)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.case_study import case_study_analysis
+
+
+def test_fig5_case_study(benchmark, universe):
+    summary = benchmark.pedantic(case_study_analysis, args=(universe,),
+                                 rounds=1, iterations=1)
+    print_result("FIGURE 5 — DIRS case study",
+                 report.render_figure5(summary))
+
+    assert summary.peak_power_share > 0.6      # paper: >80% power
+    assert summary.peak_day in ("Oct 27", "Oct 28", "Oct 29")
+    assert summary.final_total < summary.peak_total

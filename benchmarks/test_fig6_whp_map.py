@@ -1,0 +1,14 @@
+"""Figure 6: conterminous US Wildfire Hazard Potential."""
+
+from conftest import print_result
+
+from repro.viz.figures import figure6
+
+
+def test_fig6_whp_map(benchmark, universe):
+    art = benchmark.pedantic(figure6, args=(universe,),
+                             rounds=1, iterations=1)
+    print_result("FIGURE 6 — WHP map "
+                 "(m=moderate H=high #=very high)", art.ascii_art)
+    histogram = art.data
+    assert histogram[5] < histogram[4] < histogram[3]  # cells per class

@@ -1,0 +1,20 @@
+"""Figure 7: transceivers in Moderate/High/Very High WHP areas (§3.3)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.hazard import hazard_analysis, population_served_at_risk
+from repro.data.paper_constants import WHP_AT_RISK_TOTAL
+
+
+def test_fig7_hazard_counts(benchmark, universe):
+    summary = benchmark.pedantic(hazard_analysis, args=(universe,),
+                                 rounds=1, iterations=1)
+    served = population_served_at_risk(universe, summary)
+    body = report.render_figure7(summary)
+    body += f"\npopulation of at-risk counties: {served:,} | paper: >85M"
+    print_result("FIGURE 7 — WHP hazard counts", body)
+
+    assert summary.at_risk_total > 0.6 * WHP_AT_RISK_TOTAL
+    assert summary.at_risk_total < 1.4 * WHP_AT_RISK_TOTAL
+    assert served > 40e6

@@ -1,0 +1,18 @@
+"""Figure 8: states with the most at-risk transceivers (§3.3)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.hazard import hazard_analysis
+from repro.data.paper_constants import TOP_MODERATE_STATES
+
+
+def test_fig8_states(benchmark, universe):
+    summary = benchmark.pedantic(hazard_analysis, args=(universe,),
+                                 rounds=1, iterations=1)
+    print_result("FIGURE 8 — top states", report.render_figure8(summary))
+
+    top7 = set(summary.top_states(7))
+    overlap = top7 & set(TOP_MODERATE_STATES)
+    assert summary.states[0].state == "CA"
+    assert len(overlap) >= 4, (top7, TOP_MODERATE_STATES)

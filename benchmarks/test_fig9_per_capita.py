@@ -1,0 +1,19 @@
+"""Figure 9: at-risk transceivers per capita by state (§3.3)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.hazard import hazard_analysis
+from repro.data.paper_constants import TOP_VH_PER_CAPITA_STATES
+from repro.data.whp import WHPClass
+
+
+def test_fig9_per_capita(benchmark, universe):
+    summary = benchmark.pedantic(hazard_analysis, args=(universe,),
+                                 rounds=1, iterations=1)
+    print_result("FIGURE 9 — per-capita risk",
+                 report.render_figure9(summary))
+
+    top = summary.top_states_per_capita(6, WHPClass.VERY_HIGH)
+    overlap = set(top) & set(TOP_VH_PER_CAPITA_STATES)
+    assert len(overlap) >= 2, (top, TOP_VH_PER_CAPITA_STATES)

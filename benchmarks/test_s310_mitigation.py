@@ -1,0 +1,24 @@
+"""§3.10: risk prioritization and mitigation planning."""
+
+from conftest import print_result
+
+from repro.core.mitigation import MitigationAction, mitigation_plan
+
+
+def test_s310_mitigation(benchmark, universe):
+    plan = benchmark.pedantic(mitigation_plan, args=(universe,),
+                              kwargs={"budget_sites": 100},
+                              rounds=1, iterations=1)
+    top = plan.hardened[:10]
+    lines = [f"site {s.site_id:>7}  WHP {s.whp_class}  "
+             f"tx {s.n_transceivers:>2}  county pop "
+             f"{s.county_population:>10,}  score {s.score:.2f}"
+             for s in top]
+    lines.append(f"plan covers {plan.covered_transceivers} transceivers, "
+                 f"county population {plan.covered_population:,}")
+    print_result("S3.10 — mitigation plan (top 10 sites)",
+                 "\n".join(lines))
+
+    assert len(plan.hardened) <= 100
+    assert all(acts[0] == MitigationAction.BACKUP_POWER
+               for acts in plan.actions.values())

@@ -1,0 +1,20 @@
+"""§3.4: validation of WHP against the 2019 fire season."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.validation import validate_whp_2019
+
+
+def test_s34_validation(benchmark, universe):
+    result = benchmark.pedantic(
+        validate_whp_2019, args=(universe,),
+        kwargs={"oversample": 16}, rounds=1, iterations=1)
+    print_result("S3.4 — WHP validation vs 2019 fires",
+                 report.render_validation(result))
+
+    # paper: 46% accuracy; misses concentrated in the LA fires;
+    # excluding them accuracy rises to 84%
+    assert 0.2 < result.accuracy < 0.8
+    assert result.missed_in_la_fires > 0
+    assert result.accuracy_excluding_la >= result.accuracy - 0.05

@@ -1,0 +1,22 @@
+"""§3.6: WHP very-high transceivers in >1.5M counties, by city."""
+
+from conftest import print_result
+
+from repro.core.metro import city_very_high_counts
+from repro.data.paper_constants import CITY_VERY_HIGH_COUNTS
+
+
+def test_s36_cities(benchmark, universe):
+    counts = benchmark.pedantic(city_very_high_counts, args=(universe,),
+                                rounds=1, iterations=1)
+    lines = [f"{city:>24}: {count:>7,}  (paper "
+             f"{CITY_VERY_HIGH_COUNTS.get(city, 0):>6,})"
+             for city, count in sorted(counts.items(),
+                                       key=lambda kv: -kv[1])]
+    print_result("S3.6 — city very-high counts", "\n".join(lines))
+
+    west = (counts["Los Angeles"] + counts["San Diego"]
+            + counts["San Francisco/San Jose"] + counts["Miami"])
+    small = counts["Las Vegas"] + counts["New York City"]
+    assert west > small
+    assert counts["Los Angeles"] > 0

@@ -1,0 +1,18 @@
+"""§3.8: extending the very-high WHP regions by half a mile."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.extension import extend_very_high
+
+
+def test_s38_extension(benchmark, universe):
+    result = benchmark.pedantic(extend_very_high, args=(universe,),
+                                rounds=1, iterations=1)
+    print_result("S3.8 — very-high extension",
+                 report.render_extension(result))
+
+    assert result.vh_after > 2 * result.vh_before      # paper: 6.7x
+    assert result.total_after > result.total_before
+    assert result.validation_after.accuracy \
+        >= result.validation_before.accuracy           # paper: 46->62%

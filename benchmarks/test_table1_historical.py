@@ -1,0 +1,22 @@
+"""Table 1: historical wildfire statistics, 2000-2018 (§3.1)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.historical import historical_analysis, total_in_perimeters
+from repro.data.paper_constants import TOTAL_IN_PERIMETERS_2000_2018
+
+
+def test_table1_historical(benchmark, universe):
+    rows = benchmark.pedantic(historical_analysis, args=(universe,),
+                              rounds=1, iterations=1)
+    total, _ = total_in_perimeters(universe)
+    body = report.render_table1(rows)
+    body += (f"\ntotal transceivers in perimeters 2000-2018 (scaled): "
+             f"{total:,} | paper: >{TOTAL_IN_PERIMETERS_2000_2018:,}")
+    print_result("TABLE 1 — historical analysis", body)
+
+    assert len(rows) == 19
+    scaled = [r.transceivers_in_perimeters_scaled for r in rows]
+    assert max(scaled) > 500          # every year has exposure
+    assert total > 10_000             # paper: >27,000

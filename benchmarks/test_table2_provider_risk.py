@@ -1,0 +1,26 @@
+"""Table 2: cellular service provider risk (§3.5)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.provider_risk import (
+    provider_risk_analysis,
+    regional_carriers_at_risk,
+)
+from repro.data.whp import WHPClass
+
+
+def test_table2_provider_risk(benchmark, universe):
+    rows = benchmark.pedantic(provider_risk_analysis, args=(universe,),
+                              rounds=1, iterations=1)
+    n_regional = regional_carriers_at_risk(universe)
+    body = report.render_table2(rows)
+    body += f"\nregional carriers with at-risk assets: {n_regional} | paper: 46"
+    print_result("TABLE 2 — provider risk", body)
+
+    by_name = {r.provider: r for r in rows}
+    assert by_name["AT&T"].total_at_risk == max(r.total_at_risk
+                                                for r in rows)
+    for r in rows:
+        assert r.pct(WHPClass.MODERATE) > r.pct(WHPClass.VERY_HIGH)
+    assert 30 <= n_regional <= 46

@@ -1,0 +1,16 @@
+"""Table 3: cell transceiver types at risk (§3.5)."""
+
+from conftest import print_result
+
+from repro.core import report
+from repro.core.technology import technology_risk_analysis
+
+
+def test_table3_technology(benchmark, universe):
+    rows = benchmark.pedantic(technology_risk_analysis, args=(universe,),
+                              rounds=1, iterations=1)
+    print_result("TABLE 3 — technology risk", report.render_table3(rows))
+
+    by_tech = {r.technology: r for r in rows}
+    assert by_tech["LTE"].total == max(r.total for r in rows)
+    assert by_tech["UMTS"].total > by_tech["GSM"].total

@@ -1,0 +1,51 @@
+"""The 2019 California case study (§3.2 and §3.4).
+
+Reproduces the paper's Figure 5 — daily cell-site outages by cause
+during the PG&E Public Safety Power Shutoffs, 25 Oct – 1 Nov 2019 —
+and the §3.4 validation: how well did the Wildfire Hazard Potential map
+predict the transceivers that ended up inside the 2019 fire perimeters?
+
+Usage::
+
+    python examples/california_2019_case_study.py
+"""
+
+from repro import (
+    SyntheticUS,
+    UniverseConfig,
+    case_study_analysis,
+    extend_very_high,
+    validate_whp_2019,
+)
+from repro.core import report
+from repro.viz.ascii import bar_chart
+
+
+def main() -> None:
+    universe = SyntheticUS(UniverseConfig(n_transceivers=60_000,
+                                          whp_resolution_deg=0.1))
+
+    print("=== Figure 5: cell-site outages during the PG&E blackouts ===")
+    summary = case_study_analysis(universe)
+    print(report.render_figure5(summary))
+    print("\nDaily totals:")
+    print(bar_chart(summary.days, summary.totals(), width=40))
+    print(f"\nKey finding: {summary.peak_power_share:.0%} of the "
+          f"peak-day outages were POWER loss, not fire damage —\n"
+          f"the paper's central §3.2 observation (paper: >80%).")
+
+    print("\n=== §3.4: validating WHP against the 2019 fire season ===")
+    validation = validate_whp_2019(universe, oversample=16)
+    print(report.render_validation(validation))
+    print("\nThe misses concentrate in two Los Angeles fires whose"
+          "\nfootprints covered roads and urban fringe that WHP rates"
+          "\nlow-risk — exactly the anomaly the paper reports for the"
+          "\nSaddle Ridge and Tick fires.")
+
+    print("\n=== §3.8: extending the very-high regions ===")
+    extension = extend_very_high(universe)
+    print(report.render_extension(extension))
+
+
+if __name__ == "__main__":
+    main()

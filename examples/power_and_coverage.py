@@ -1,0 +1,67 @@
+"""Power dependency and coverage loss — the §3.11 follow-on analyses.
+
+The paper's case study showed power loss dominates wildfire cell
+outages, and its limitations section flags two open questions this
+example answers with the library's extension modules:
+
+1. *How far beyond the fire perimeters does the power channel reach?*
+   (`repro.core.power`) — substations, transmission lines, and
+   distribution feeders crossing burned or de-energized terrain.
+2. *What does losing the at-risk sites mean for service coverage?*
+   (`repro.core.coverage`) — population whose only coverage comes from
+   at-risk sites.
+
+Usage::
+
+    python examples/power_and_coverage.py
+"""
+
+from repro import SyntheticUS, UniverseConfig
+from repro.core.coverage import coverage_loss_analysis
+from repro.core.power import (
+    fire_power_impact,
+    power_grid_for,
+    psps_exposure,
+)
+from repro.data.whp import WHPClass
+
+
+def main() -> None:
+    universe = SyntheticUS(UniverseConfig(n_transceivers=60_000,
+                                          whp_resolution_deg=0.1))
+    grid = power_grid_for(universe)
+    print(f"synthetic grid: {grid.n_substations} substations, "
+          f"{grid.n_lines} transmission lines, "
+          f"{len(grid.site_substation):,} dependent cell sites")
+
+    print("\n=== Fire seasons: direct vs power-mediated outages ===")
+    print("(an upper bound: no feeder sectionalizing is modeled)")
+    for year in (2017, 2018, 2019):
+        impact = fire_power_impact(universe, year, grid=grid)
+        print(f"  {year}: {impact.sites_direct:>4} sites inside "
+              f"perimeters, {impact.sites_indirect:>5} more lose power "
+              f"({impact.substations_hit} substations hit, "
+              f"{impact.lines_cut} lines cut)")
+    print("\nThe power channel dwarfs direct damage — the paper's §3.2 "
+          "finding\n(874 sites out vs ~21 damaged in the 2019 event).")
+
+    exposure = psps_exposure(universe, grid=grid)
+    print(f"\nStanding PSPS exposure: {exposure.sites_exposed:,} of "
+          f"{exposure.sites_total:,} sites ({exposure.exposed_share:.0%})"
+          f"\nhang off lines or feeders crossing high/very-high WHP "
+          f"terrain.")
+
+    print("\n=== Coverage loss if the at-risk sites go dark ===")
+    for floor in (WHPClass.MODERATE, WHPClass.HIGH, WHPClass.VERY_HIGH):
+        r = coverage_loss_analysis(universe, hazard_floor=floor)
+        print(f"  losing {floor.name:>9} + sites "
+              f"({r.sites_lost:>5,}): {r.population_lost / 1e6:>5.1f}M "
+              f"people lose all coverage ({r.lost_share:.2%} of US)")
+    print("\nNote the asymmetry the paper's §3.6 impact index misses: "
+          "85M+ people live in\ncounties with at-risk transceivers, but "
+          "urban redundancy means an order of\nmagnitude fewer would "
+          "actually lose coverage — the stranded users are rural/WUI.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Render the paper's map figures as real images (binary PPM).
+
+Writes Figure 2 (all transceivers), Figure 4 (transceivers inside fire
+perimeters), Figure 6 (the WHP map, paper palette) and a Figure 13
+window (LA/San Diego WUI) into a directory; PPM opens in any image
+viewer and converts with ``convert x.ppm x.png``.
+
+Usage::
+
+    python examples/render_figure_maps.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import SyntheticUS, UniverseConfig, total_in_perimeters
+from repro.geo.geometry import BBox
+from repro.viz.image import (
+    save_class_image,
+    save_density_image,
+    write_ppm,
+    class_image,
+    WHP_PALETTE,
+)
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    universe = SyntheticUS(UniverseConfig(n_transceivers=60_000,
+                                          whp_resolution_deg=0.05))
+    cells = universe.cells
+    bbox = universe.population.grid.bbox
+
+    path = save_density_image(cells.lons, cells.lats, bbox,
+                              outdir / "figure2_transceivers.ppm")
+    print(f"wrote {path} (Figure 2: all transceivers)")
+
+    _, mask = total_in_perimeters(universe)
+    path = save_density_image(cells.lons[mask], cells.lats[mask], bbox,
+                              outdir / "figure4_in_perimeters.ppm")
+    print(f"wrote {path} (Figure 4: transceivers in perimeters)")
+
+    whp = universe.whp
+    path = save_class_image(whp.raster.data, whp.grid,
+                            outdir / "figure6_whp.ppm")
+    print(f"wrote {path} (Figure 6: WHP, red/yellow = high hazard)")
+
+    # Figure 13 middle panel: the LA / San Diego WUI window.
+    window = BBox(-119.5, 32.3, -116.0, 35.2)
+    grid = whp.grid
+    r0, c0 = grid.rowcol(window.min_lon, window.max_lat)
+    r1, c1 = grid.rowcol(window.max_lon, window.min_lat)
+    sub = whp.raster.data[int(r0):int(r1), int(c0):int(c1)]
+    write_ppm(class_image(sub, WHP_PALETTE),
+              outdir / "figure13_la_sd_window.ppm")
+    print(f"wrote {outdir / 'figure13_la_sd_window.ppm'} "
+          f"(Figure 13: LA/SD WUI window)")
+
+    print("\nconvert to PNG with e.g.:  "
+          "for f in figures/*.ppm; do convert $f ${f%.ppm}.png; done")
+
+
+if __name__ == "__main__":
+    main()

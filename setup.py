@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment is offline and has no ``wheel`` package, so PEP 517
+editable installs (which build an editable wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

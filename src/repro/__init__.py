@@ -1,0 +1,63 @@
+"""Five Alarms — reproduction of the IMC 2020 wildfire/cellular study.
+
+A self-contained geospatial risk-analysis library assessing the
+vulnerability of US cellular infrastructure to wildfires, with every
+substrate the paper depends on (GIS engine, synthetic data sets) built
+in.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    from repro import SyntheticUS, UniverseConfig, hazard_analysis
+    universe = SyntheticUS(UniverseConfig(n_transceivers=50_000))
+    summary = hazard_analysis(universe)
+    print(summary.class_counts)
+"""
+
+from . import core, data, geo
+from .core import (
+    case_study_analysis,
+    coverage_loss_analysis,
+    fire_power_impact,
+    psps_exposure,
+    city_very_high_counts,
+    escape_adjusted_risk,
+    extend_very_high,
+    future_risk_analysis,
+    hazard_analysis,
+    historical_analysis,
+    metro_risk_analysis,
+    mitigation_plan,
+    overlay_fires,
+    population_impact_analysis,
+    population_served_at_risk,
+    provider_risk_analysis,
+    technology_risk_analysis,
+    total_in_perimeters,
+    validate_whp_2019,
+)
+from .data import (
+    CellUniverse,
+    SyntheticUS,
+    UniverseConfig,
+    WHPClass,
+    default_universe,
+    small_universe,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "geo", "data", "core",
+    "SyntheticUS", "UniverseConfig", "CellUniverse", "WHPClass",
+    "default_universe", "small_universe",
+    "historical_analysis", "total_in_perimeters", "case_study_analysis",
+    "hazard_analysis", "population_served_at_risk", "validate_whp_2019",
+    "extend_very_high", "provider_risk_analysis",
+    "technology_risk_analysis", "population_impact_analysis",
+    "metro_risk_analysis", "city_very_high_counts",
+    "future_risk_analysis", "mitigation_plan", "escape_adjusted_risk",
+    "coverage_loss_analysis", "fire_power_impact", "psps_exposure",
+    "overlay_fires",
+    "__version__",
+]

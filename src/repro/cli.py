@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Reproduce any of the paper's tables and figures from a shell::
+
+    python -m repro table1 -n 60000
+    python -m repro fig7
+    python -m repro map --figure 6
+    python -m repro validate --oversample 16
+    python -m repro all          # every table and figure
+
+Counts are printed both raw and rescaled to the paper's 5,364,949-
+transceiver universe; every command prints the paper's number alongside.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import report
+from .data import SyntheticUS, UniverseConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Five Alarms' (IMC 2020) tables/figures.")
+    parser.add_argument("-n", "--transceivers", type=int, default=60_000,
+                        help="synthetic universe size (default 60000)")
+    parser.add_argument("--seed", type=int, default=20_190_722)
+    parser.add_argument("--whp-res", type=float, default=0.1,
+                        help="WHP grid resolution in degrees")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="historical analysis (Table 1)")
+    sub.add_parser("table2", help="provider risk (Table 2)")
+    sub.add_parser("table3", help="technology risk (Table 3)")
+    sub.add_parser("fig5", help="2019 case study (Figure 5)")
+    sub.add_parser("fig7", help="WHP hazard counts (Figure 7)")
+    sub.add_parser("fig8", help="top states (Figure 8)")
+    sub.add_parser("fig9", help="per-capita risk (Figure 9)")
+    sub.add_parser("fig10", help="population impact (Figure 10)")
+    sub.add_parser("fig12", help="metro ranking (Figure 12)")
+    sub.add_parser("ecoregions", help="SLC-Denver projections (Figs "
+                                      "14-15)")
+
+    validate = sub.add_parser("validate",
+                              help="2019 WHP validation (S3.4)")
+    validate.add_argument("--oversample", type=int, default=8)
+
+    extend = sub.add_parser("extend", help="VH extension (S3.8)")
+    extend.add_argument("--radius-miles", type=float, default=0.5)
+
+    power = sub.add_parser("power", help="power dependency (S3.11)")
+    power.add_argument("--year", type=int, default=2019)
+
+    sub.add_parser("coverage", help="coverage loss (S3.11)")
+
+    fig_map = sub.add_parser("map", help="ASCII map of a figure")
+    fig_map.add_argument("--figure", type=int, default=6,
+                         choices=(2, 3, 4, 6), help="figure number")
+    fig_map.add_argument("--width", type=int, default=100)
+
+    sub.add_parser("all", help="every table and figure")
+    return parser
+
+
+def _universe(args: argparse.Namespace) -> SyntheticUS:
+    return SyntheticUS(UniverseConfig(
+        n_transceivers=args.transceivers,
+        seed=args.seed,
+        whp_resolution_deg=args.whp_res,
+    ))
+
+
+def _run_command(command: str, args: argparse.Namespace,
+                 universe: SyntheticUS, out) -> None:
+    from .core import (
+        case_study_analysis,
+        coverage_loss_analysis,
+        extend_very_high,
+        fire_power_impact,
+        future_risk_analysis,
+        hazard_analysis,
+        historical_analysis,
+        metro_risk_analysis,
+        population_impact_analysis,
+        provider_risk_analysis,
+        technology_risk_analysis,
+        validate_whp_2019,
+    )
+
+    if command == "table1":
+        out(report.render_table1(historical_analysis(universe)))
+    elif command == "table2":
+        out(report.render_table2(provider_risk_analysis(universe)))
+    elif command == "table3":
+        out(report.render_table3(technology_risk_analysis(universe)))
+    elif command == "fig5":
+        out(report.render_figure5(case_study_analysis(universe)))
+    elif command == "fig7":
+        out(report.render_figure7(hazard_analysis(universe)))
+    elif command == "fig8":
+        out(report.render_figure8(hazard_analysis(universe)))
+    elif command == "fig9":
+        out(report.render_figure9(hazard_analysis(universe)))
+    elif command == "fig10":
+        out(report.render_figure10(
+            population_impact_analysis(universe)))
+    elif command == "fig12":
+        out(report.render_figure12(metro_risk_analysis(universe)))
+    elif command == "ecoregions":
+        out(report.render_ecoregions(future_risk_analysis(universe)))
+    elif command == "validate":
+        oversample = getattr(args, "oversample", 8)
+        out(report.render_validation(
+            validate_whp_2019(universe, oversample=oversample)))
+    elif command == "extend":
+        radius = getattr(args, "radius_miles", 0.5)
+        out(report.render_extension(
+            extend_very_high(universe, radius_miles=radius)))
+    elif command == "power":
+        impact = fire_power_impact(universe, getattr(args, "year", 2019))
+        out(f"{impact.year}: {impact.sites_direct} sites inside "
+            f"perimeters, {impact.sites_indirect} more lose power "
+            f"({impact.substations_hit} substations hit, "
+            f"{impact.lines_cut} lines cut)")
+    elif command == "coverage":
+        r = coverage_loss_analysis(universe)
+        out(f"baseline coverage {r.covered_share_before:.0%}; losing "
+            f"{r.sites_lost:,} at-risk sites strands "
+            f"{r.population_lost / 1e6:.1f}M people "
+            f"({r.lost_share:.2%} of US)")
+    elif command == "map":
+        from .viz import figures
+        fig_fn = {2: figures.figure2, 3: figures.figure3,
+                  4: figures.figure4, 6: figures.figure6}[args.figure]
+        out(fig_fn(universe, width=args.width).ascii_art)
+    else:
+        raise ValueError(f"unknown command: {command}")
+
+
+def main(argv: list[str] | None = None, stream=None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    stream = stream or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    def out(text: str) -> None:
+        print(text, file=stream)
+
+    universe = _universe(args)
+    if args.command == "all":
+        for command in ("table1", "table2", "table3", "fig5", "fig7",
+                        "fig8", "fig9", "fig10", "fig12", "ecoregions",
+                        "validate", "extend", "power", "coverage"):
+            out(f"\n===== {command} =====")
+            _run_command(command, args, universe, out)
+    else:
+        _run_command(args.command, args, universe, out)
+    return 0

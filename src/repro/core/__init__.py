@@ -1,0 +1,93 @@
+"""The paper's analyses: one module per result section.
+
+overlay → historical (Table 1, Figs 3-4) → case_study (Fig 5) →
+hazard (Figs 6-9) → validation (§3.4) → provider_risk (Table 2) →
+technology (Table 3) → population_impact (Figs 10-11) → metro
+(Figs 12-13) → extension (§3.8) → future (§3.9, Figs 14-15) →
+mitigation (§3.10) → escape (§3.11 extension); report renders all of it.
+"""
+
+from .case_study import CaseStudySummary, case_study_analysis, outage_by_county
+from .county_exposure import CountyExposure, county_exposure_analysis
+from .coverage import (
+    CoverageResult,
+    coverage_loss_analysis,
+    estimate_site_radii_m,
+)
+from .escape import EscapeModel, EscapeResult, escape_adjusted_risk
+from .extension import ExtensionResult, extend_very_high
+from .future import EcoregionExposure, future_risk_analysis
+from .hazard import (
+    HazardSummary,
+    StateHazard,
+    hazard_analysis,
+    population_served_at_risk,
+)
+from .historical import Table1Row, historical_analysis, total_in_perimeters
+from .metro import (
+    CITY_GROUPS,
+    MetroRisk,
+    city_very_high_counts,
+    metro_risk_analysis,
+)
+from .mitigation import (
+    MitigationAction,
+    MitigationPlan,
+    SiteRisk,
+    mitigation_plan,
+    rank_sites,
+)
+from .overlay import (
+    FireOverlayResult,
+    classify_cells,
+    overlay_fires,
+    overlay_fires_bruteforce,
+)
+from .population_impact import PopulationImpact, population_impact_analysis
+from .power import (
+    PowerImpact,
+    PspsExposure,
+    fire_power_impact,
+    power_grid_for,
+    psps_exposure,
+)
+from .provider_risk import (
+    ProviderRisk,
+    provider_risk_analysis,
+    regional_carriers_at_risk,
+)
+from .sensitivity import (
+    MetricDistribution,
+    SensitivityReport,
+    seed_sweep,
+)
+from .technology import TechnologyRisk, technology_risk_analysis
+from .validation import ValidationResult, validate_whp_2019
+from . import report
+
+__all__ = [
+    "FireOverlayResult", "overlay_fires", "overlay_fires_bruteforce",
+    "classify_cells",
+    "Table1Row", "historical_analysis", "total_in_perimeters",
+    "CaseStudySummary", "case_study_analysis",
+    "HazardSummary", "StateHazard", "hazard_analysis",
+    "population_served_at_risk",
+    "ValidationResult", "validate_whp_2019",
+    "ExtensionResult", "extend_very_high",
+    "ProviderRisk", "provider_risk_analysis", "regional_carriers_at_risk",
+    "TechnologyRisk", "technology_risk_analysis",
+    "PopulationImpact", "population_impact_analysis",
+    "MetroRisk", "metro_risk_analysis", "city_very_high_counts",
+    "CITY_GROUPS",
+    "EcoregionExposure", "future_risk_analysis",
+    "MitigationAction", "MitigationPlan", "SiteRisk", "mitigation_plan",
+    "rank_sites",
+    "EscapeModel", "EscapeResult", "escape_adjusted_risk",
+    "CoverageResult", "coverage_loss_analysis", "estimate_site_radii_m",
+    "outage_by_county",
+    "CountyExposure", "county_exposure_analysis",
+    "MetricDistribution", "SensitivityReport", "seed_sweep",
+    "PowerImpact", "PspsExposure", "fire_power_impact", "psps_exposure",
+    "power_grid_for",
+    "report",
+]

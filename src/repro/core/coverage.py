@@ -1,0 +1,165 @@
+"""Coverage-loss analysis (§3.11 alternate approach).
+
+The paper scopes itself to the *physical* threat and notes: "An
+alternate approach could be to examine the wildfire threat to cellular
+service coverage."  This module implements that approach: each cell
+site covers a radius that shrinks with local site density (dense urban
+grids are capacity-driven with small cells; rural sites reach tens of
+kilometers), people are covered when any site reaches them, and losing
+the at-risk sites removes coverage where no surviving neighbor
+overlaps.
+
+Outputs the quantities a regulator would ask for: population covered
+before/after losing at-risk sites, and population whose *only* coverage
+comes from at-risk sites (single-provider-path users — the 911 concern
+of §3.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from ..geo.projection import meters_per_degree
+from .overlay import classify_cells
+
+__all__ = ["CoverageResult", "coverage_loss_analysis",
+           "estimate_site_radii_m"]
+
+
+def estimate_site_radii_m(universe: SyntheticUS,
+                          min_radius_m: float = 1_500.0,
+                          max_radius_m: float = 40_000.0) -> np.ndarray:
+    """Coverage radius per *site* from the local synthetic site density.
+
+    Radius ~ 0.8x the local area-per-site square root, so coverage is
+    scale-invariant: sites cover roughly their Voronoi neighborhoods at
+    any ``n_transceivers``, with urban macro cells clamped near
+    ``min_radius_m`` and remote sites reaching ``max_radius_m``.
+    Returns radii aligned with ``np.unique(cells.site_ids)`` order.
+    """
+    from scipy import ndimage
+
+    cells = universe.cells
+    site_ids, first = np.unique(cells.site_ids, return_index=True)
+    lons = cells.lons[first]
+    lats = cells.lats[first]
+    pop = universe.population
+    grid = pop.grid
+
+    counts = np.zeros(grid.shape)
+    rows, cols = grid.rowcol(lons, lats)
+    ok = grid.inside(rows, cols)
+    np.add.at(counts, (rows[ok], cols[ok]), 1.0)
+    smoothed = ndimage.gaussian_filter(counts, sigma=2.0)
+
+    density = smoothed[np.clip(rows, 0, grid.height - 1),
+                       np.clip(cols, 0, grid.width - 1)]
+    cell_area = grid.cell_area_sqm(grid.height // 2)
+    area_per_site = cell_area / np.clip(density, 1e-3, None)
+    radius = 0.8 * np.sqrt(area_per_site)
+    return np.clip(radius, min_radius_m, max_radius_m)
+
+
+@dataclass
+class CoverageResult:
+    """Coverage before/after losing the at-risk sites."""
+
+    population_total: float
+    population_covered_before: float
+    population_covered_after: float
+    population_lost: float
+    population_only_at_risk: float  # same as lost; kept for clarity
+    sites_total: int
+    sites_lost: int
+
+    @property
+    def covered_share_before(self) -> float:
+        return self.population_covered_before / self.population_total
+
+    @property
+    def lost_share(self) -> float:
+        return self.population_lost / self.population_total
+
+
+def coverage_loss_analysis(universe: SyntheticUS,
+                           hazard_floor: WHPClass = WHPClass.MODERATE) \
+        -> CoverageResult:
+    """Population coverage impact of losing every at-risk site.
+
+    Coverage is computed on the population grid: a cell is covered when
+    some site's radius reaches its center.  Sites whose WHP class (max
+    over their transceivers) is at or above ``hazard_floor`` are
+    removed, and the newly-uncovered population counted.
+    """
+    cells = universe.cells
+    pop = universe.population
+    classes = classify_cells(cells, universe.whp)
+
+    site_ids, first = np.unique(cells.site_ids, return_index=True)
+    site_lons = cells.lons[first]
+    site_lats = cells.lats[first]
+    radii = estimate_site_radii_m(universe)
+
+    # Site hazard: max class over the site's transceivers.
+    order = np.argsort(cells.site_ids, kind="stable")
+    sid_sorted = cells.site_ids[order]
+    cls_sorted = classes[order]
+    boundaries = np.nonzero(np.diff(sid_sorted))[0] + 1
+    site_class = np.array([g.max() for g in
+                           np.split(cls_sorted, boundaries)])
+    at_risk_site = site_class >= int(hazard_floor)
+
+    covered_before = _coverage_mask(pop, site_lons, site_lats, radii)
+    covered_after = _coverage_mask(pop, site_lons[~at_risk_site],
+                                   site_lats[~at_risk_site],
+                                   radii[~at_risk_site])
+
+    weights = pop.raster.data
+    total = float(weights.sum())
+    before = float(weights[covered_before].sum())
+    after = float(weights[covered_after].sum())
+    lost = float(weights[covered_before & ~covered_after].sum())
+
+    return CoverageResult(
+        population_total=total,
+        population_covered_before=before,
+        population_covered_after=after,
+        population_lost=lost,
+        population_only_at_risk=lost,
+        sites_total=len(site_ids),
+        sites_lost=int(at_risk_site.sum()),
+    )
+
+
+def _coverage_mask(pop, site_lons, site_lats, radii_m) -> np.ndarray:
+    """Boolean population-grid mask of cells within any site's radius.
+
+    Stamps an elliptical footprint per site (lon/lat anisotropy at the
+    site's latitude); O(sites × footprint cells).
+    """
+    grid = pop.grid
+    covered = np.zeros(grid.shape, dtype=bool)
+    for lon, lat, radius in zip(site_lons, site_lats, radii_m):
+        mx, my = meters_per_degree(float(lat))
+        rlon = radius / mx
+        rlat = radius / my
+        row0, col0 = grid.rowcol(lon - rlon, lat + rlat)
+        row1, col1 = grid.rowcol(lon + rlon, lat - rlat)
+        row0 = max(int(row0), 0)
+        col0 = max(int(col0), 0)
+        row1 = min(int(row1), grid.height - 1)
+        col1 = min(int(col1), grid.width - 1)
+        if row0 > row1 or col0 > col1:
+            continue
+        rows = np.arange(row0, row1 + 1)
+        cols = np.arange(col0, col1 + 1)
+        cmesh, rmesh = np.meshgrid(cols, rows)
+        clons, clats = grid.cell_center(rmesh, cmesh)
+        inside = (((clons - lon) / rlon) ** 2
+                  + ((clats - lat) / rlat) ** 2) <= 1.0
+        covered[row0:row1 + 1, col0:col1 + 1] |= inside
+    return covered

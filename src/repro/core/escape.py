@@ -1,0 +1,115 @@
+"""Escape-probability extension (§3.11 future work).
+
+The paper notes WHP does not model the chance that a fire *escapes*
+containment and spreads into lower-risk areas, and points to the highly
+optimized tolerance (HOT) framework of Moritz et al. (2005), which
+models wildfire sizes as a heavy-tailed (power-law) distribution.
+
+This module implements that extension: given an ignition cell, the fire
+burns an area drawn from a truncated power law; the expected *escaped
+risk* of a cell is the probability that a fire ignited nearby grows
+large enough to reach it.  Applied over the WHP raster this produces an
+"escape-adjusted" at-risk mask that extends beyond the static classes —
+quantifying how many additional transceivers the static WHP analysis
+misses, which is exactly the gap the §3.4 validation exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from ..geo.projection import acres_to_sqmeters, meters_per_degree
+from .overlay import classify_cells
+
+__all__ = ["EscapeModel", "EscapeResult", "escape_adjusted_risk"]
+
+
+@dataclass(frozen=True)
+class EscapeModel:
+    """Truncated power-law fire-size model (HOT-style).
+
+    P(size > s) = (s / s_min)^(-alpha) for s in [s_min, s_max] acres.
+    """
+
+    alpha: float = 0.6
+    s_min_acres: float = 100.0
+    s_max_acres: float = 300_000.0
+
+    def exceedance(self, acres: float) -> float:
+        """P(fire size > acres), clamped to the support."""
+        if acres <= self.s_min_acres:
+            return 1.0
+        if acres >= self.s_max_acres:
+            return 0.0
+        return float((acres / self.s_min_acres) ** (-self.alpha))
+
+    def radius_m(self, acres: float) -> float:
+        """Radius of a circular fire of the given size."""
+        return float(np.sqrt(acres_to_sqmeters(acres) / np.pi))
+
+
+@dataclass
+class EscapeResult:
+    """Escape-adjusted risk over the transceiver universe."""
+
+    reach_probability_threshold: float
+    escaped_mask: np.ndarray           # cells newly at risk via escape
+    static_at_risk: int                # scaled
+    escape_adjusted_at_risk: int       # scaled
+    added_transceivers: int            # scaled
+
+
+def escape_adjusted_risk(universe: SyntheticUS,
+                         model: EscapeModel | None = None,
+                         reach_probability: float = 0.05) -> EscapeResult:
+    """Compute the escape-adjusted at-risk set.
+
+    A cell is escape-reachable when a fire igniting in a moderate+ WHP
+    cell within distance d reaches it with probability above
+    ``reach_probability`` — i.e. d <= radius(s) where
+    P(size > s) = reach_probability.  With a power law this is a fixed
+    dilation radius, so the computation is a morphological dilation of
+    the at-risk mask by the escape radius.
+    """
+    model = model or EscapeModel()
+    whp = universe.whp
+    cells = universe.cells
+    scale = universe.universe_scale
+
+    # Size whose exceedance equals the reach probability.
+    s_reach = model.s_min_acres * reach_probability ** (-1.0 / model.alpha)
+    s_reach = min(s_reach, model.s_max_acres)
+    radius = model.radius_m(s_reach)
+
+    at_risk_mask = whp.at_risk_mask()
+    grid = whp.grid
+    lat_mid = (grid.bbox.min_lat + grid.bbox.max_lat) / 2.0
+    mx, my = meters_per_degree(lat_mid)
+    from ..geo.raster import disk_footprint
+    rx = max(radius / (grid.res * mx), 1.0)
+    ry = max(radius / (grid.res * my), 1.0)
+    reachable = ndimage.binary_dilation(at_risk_mask,
+                                        structure=disk_footprint(rx, ry))
+    land = whp.fuel.data > 0
+    reachable &= land
+
+    classes = classify_cells(cells, whp)
+    static = classes >= int(WHPClass.MODERATE)
+
+    rows, cols = grid.rowcol(cells.lons, cells.lats)
+    ok = grid.inside(rows, cols)
+    adjusted = static.copy()
+    adjusted[ok] |= reachable[rows[ok], cols[ok]]
+
+    return EscapeResult(
+        reach_probability_threshold=reach_probability,
+        escaped_mask=reachable & ~at_risk_mask,
+        static_at_risk=int(round(static.sum() * scale)),
+        escape_adjusted_at_risk=int(round(adjusted.sum() * scale)),
+        added_transceivers=int(round((adjusted & ~static).sum() * scale)),
+    )

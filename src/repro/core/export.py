@@ -1,0 +1,208 @@
+"""Machine-readable experiment export.
+
+Dumps every reproduced table and figure into one JSON document — the
+artifact a CI job archives so result drift is diffable across commits.
+The document carries the universe configuration, the library version,
+and a paper-vs-measured entry per experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from ..data import paper_constants as paper
+from ..data.universe import SyntheticUS
+from .case_study import case_study_analysis
+from .extension import extend_very_high
+from .future import future_risk_analysis
+from .hazard import hazard_analysis, population_served_at_risk
+from .historical import historical_analysis, total_in_perimeters
+from .metro import city_very_high_counts, metro_risk_analysis
+from .population_impact import population_impact_analysis
+from .provider_risk import provider_risk_analysis, regional_carriers_at_risk
+from .technology import technology_risk_analysis
+from .validation import validate_whp_2019
+
+__all__ = ["export_results", "run_all_experiments",
+           "render_markdown_report"]
+
+
+def run_all_experiments(universe: SyntheticUS,
+                        validation_oversample: int = 8) -> dict[str, Any]:
+    """Run every pipeline and assemble the results document."""
+    from .. import __version__
+
+    hazard = hazard_analysis(universe)
+    table1 = historical_analysis(universe)
+    total_perims, _ = total_in_perimeters(universe)
+    case = case_study_analysis(universe)
+    validation = validate_whp_2019(universe,
+                                   oversample=validation_oversample)
+    extension = extend_very_high(universe)
+    impact = population_impact_analysis(universe)
+
+    doc: dict[str, Any] = {
+        "library_version": __version__,
+        "config": asdict(universe.config),
+        "universe_scale": universe.universe_scale,
+        "table1": {
+            "rows": [asdict(r) for r in table1],
+            "total_in_perimeters": total_perims,
+            "paper_total": paper.TOTAL_IN_PERIMETERS_2000_2018,
+        },
+        "figure5": {
+            "days": case.days,
+            "power": case.power,
+            "backhaul": case.backhaul,
+            "damage": case.damage,
+            "peak_total": case.peak_total,
+            "peak_power_share": case.peak_power_share,
+            "paper": paper.DIRS_CASE_STUDY,
+        },
+        "figure7": {
+            "class_counts": hazard.class_counts,
+            "at_risk_total": hazard.at_risk_total,
+            "population_served": population_served_at_risk(universe,
+                                                           hazard),
+            "paper_counts": paper.WHP_AT_RISK_COUNTS,
+            "paper_total": paper.WHP_AT_RISK_TOTAL,
+        },
+        "figure8": {
+            "states": [asdict(s) for s in hazard.states[:15]],
+            "paper_top_moderate": list(paper.TOP_MODERATE_STATES),
+        },
+        "validation_s34": {
+            "in_perimeter_total": validation.in_perimeter_total,
+            "accuracy": validation.accuracy,
+            "missed_in_la_fires": validation.missed_in_la_fires,
+            "missed": validation.missed,
+            "paper": paper.VALIDATION_2019,
+        },
+        "extension_s38": {
+            "vh_before": extension.vh_before,
+            "vh_after": extension.vh_after,
+            "total_before": extension.total_before,
+            "total_after": extension.total_after,
+            "accuracy_before": extension.validation_before.accuracy,
+            "accuracy_after": extension.validation_after.accuracy,
+            "paper": paper.EXTENSION_HALF_MILE,
+        },
+        "table2": {
+            "rows": [asdict(r) for r in provider_risk_analysis(universe)],
+            "regional_carriers": regional_carriers_at_risk(universe),
+            "paper": {k: {c: list(v) for c, v in d.items()}
+                      for k, d in paper.TABLE2_PROVIDER_RISK.items()},
+        },
+        "table3": {
+            "rows": [asdict(r)
+                     for r in technology_risk_analysis(universe)],
+            "paper": {k: list(v)
+                      for k, v in paper.TABLE3_TECHNOLOGY_RISK.items()},
+        },
+        "figure10": {
+            "matrix": impact.matrix,
+            "at_risk_in_vh_pop_counties":
+                impact.at_risk_in_vh_pop_counties,
+            "n_vh_pop_counties": impact.n_vh_pop_counties,
+            "paper": paper.POP_IMPACT,
+        },
+        "figure12": {
+            "metros": [asdict(m) for m in metro_risk_analysis(universe)],
+        },
+        "cities_s36": {
+            "counts": city_very_high_counts(universe),
+            "paper": paper.CITY_VERY_HIGH_COUNTS,
+        },
+        "ecoregions_s39": {
+            "rows": [asdict(r) for r in future_risk_analysis(universe)],
+            "paper_deltas": paper.ECOREGION_DELTAS,
+        },
+    }
+    return doc
+
+
+def export_results(universe: SyntheticUS, path: str | Path,
+                   validation_oversample: int = 8) -> dict[str, Any]:
+    """Run everything and write the JSON document to ``path``."""
+    doc = run_all_experiments(universe,
+                              validation_oversample=validation_oversample)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True),
+                          encoding="utf-8")
+    return doc
+
+
+def render_markdown_report(doc: dict[str, Any]) -> str:
+    """Render the results document as a human-readable Markdown report.
+
+    The output mirrors EXPERIMENTS.md's structure so a CI job can
+    regenerate that file from :func:`run_all_experiments` output.
+    """
+    lines = ["# Reproduction results", "",
+             f"library {doc['library_version']}, "
+             f"n={doc['config']['n_transceivers']:,}, "
+             f"seed={doc['config']['seed']}", ""]
+
+    lines.append("## Figure 7 — WHP hazard counts")
+    fig7 = doc["figure7"]
+    lines.append("| Class | Measured | Paper |")
+    lines.append("|---|---|---|")
+    for name, paper_count in fig7["paper_counts"].items():
+        lines.append(f"| {name} | {fig7['class_counts'][name]:,} "
+                     f"| {paper_count:,} |")
+    lines.append(f"| Total | {fig7['at_risk_total']:,} "
+                 f"| {fig7['paper_total']:,} |")
+    lines.append("")
+
+    lines.append("## Table 1 — historical analysis")
+    t1 = doc["table1"]
+    lines.append(f"Total in perimeters 2000-2018: "
+                 f"{t1['total_in_perimeters']:,} "
+                 f"(paper >{t1['paper_total']:,})")
+    lines.append("")
+
+    lines.append("## S3.4 — validation")
+    v = doc["validation_s34"]
+    lines.append(f"accuracy {v['accuracy']:.0%} "
+                 f"(paper {v['paper']['accuracy_pct']:.0f}%); "
+                 f"misses in LA fires {v['missed_in_la_fires']}"
+                 f"/{v['missed']} "
+                 f"(paper {v['paper']['missed_in_la_fires']}"
+                 f"/{v['paper']['missed']})")
+    lines.append("")
+
+    lines.append("## S3.8 — extension")
+    e = doc["extension_s38"]
+    lines.append(f"VH {e['vh_before']:,} -> {e['vh_after']:,} "
+                 f"(paper {e['paper']['vh_before']:,} -> "
+                 f"{e['paper']['vh_after']:,}); accuracy "
+                 f"{e['accuracy_before']:.0%} -> "
+                 f"{e['accuracy_after']:.0%} (paper 46% -> 62%)")
+    lines.append("")
+
+    lines.append("## Figure 8 — top states")
+    states = doc["figure8"]["states"][:7]
+    lines.append(", ".join(f"{s['state']} ({s['moderate'] + s['high'] + s['very_high']:,})"
+                           for s in states))
+    lines.append(f"paper: "
+                 f"{', '.join(doc['figure8']['paper_top_moderate'])}")
+    lines.append("")
+
+    lines.append("## Table 2 — providers")
+    lines.append("| Provider | At-risk | Fleet |")
+    lines.append("|---|---|---|")
+    for row in doc["table2"]["rows"]:
+        total = row["moderate"] + row["high"] + row["very_high"]
+        lines.append(f"| {row['provider']} | {total:,} "
+                     f"| {row['fleet_size']:,} |")
+    lines.append(f"regional carriers at risk: "
+                 f"{doc['table2']['regional_carriers']} (paper 46)")
+    lines.append("")
+
+    lines.append("## S3.6 — city very-high counts")
+    for city, count in doc["cities_s36"]["counts"].items():
+        paper_count = doc["cities_s36"]["paper"].get(city, 0)
+        lines.append(f"- {city}: {count:,} (paper {paper_count:,})")
+    return "\n".join(lines)

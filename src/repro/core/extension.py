@@ -1,0 +1,135 @@
+"""Extending the WHP very-high regions (§3.8).
+
+The paper grows the very-high WHP regions by half a mile to capture
+infrastructure just outside the mapped hazard (roadside corridors, urban
+fringe), raising validation accuracy from 46% to 62% at the cost of
+labeling more infrastructure at-risk (430,844 → 509,693).
+
+We implement the buffer as morphological dilation on the WHP raster —
+the faithful operation for a raster product.  The real WHP cell is
+270 m, so the paper's half-mile buffer spans ~3 cells; because class
+fragmentation scales with the grid, we preserve that buffer-to-cell
+ratio when the physical radius degenerates below our (coarser) cell
+size.  The radius sweep in the ablation bench explores other buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from ..geo.projection import miles_to_meters
+from ..geo.raster import disk_footprint
+from .overlay import classify_cells
+from .validation import ValidationResult, validate_whp_2019
+
+__all__ = ["ExtensionResult", "extend_very_high"]
+
+
+@dataclass
+class ExtensionResult:
+    """Before/after counts for the §3.8 extension experiment."""
+
+    radius_miles: float
+    vh_before: int                # scaled transceivers in VH
+    vh_after: int                 # scaled transceivers in VH ∪ dilated
+    total_before: int             # scaled at-risk before
+    total_after: int              # scaled at-risk after
+    validation_before: ValidationResult
+    validation_after: ValidationResult
+
+    @property
+    def accuracy_gain(self) -> float:
+        return (self.validation_after.accuracy
+                - self.validation_before.accuracy)
+
+
+#: Width of the synthetic WUI fringe in degrees.  In the real 270 m WHP
+#: a half-mile buffer spans the urban-fringe gap between very-high cells
+#: and developed land; our metro kernels stretch that gap to ~0.3
+#: degrees, so a half-mile paper buffer maps to one fringe width here
+#: (larger radii scale linearly).  This keeps the *semantics* of the
+#: experiment — the buffer reaches across the WUI gap — at any grid
+#: resolution.
+FRINGE_EQUIVALENT_DEG = 0.20
+_HALF_MILE_M = 804.672
+
+
+def _dilate_fringe_equivalent(universe: SyntheticUS, mask: np.ndarray,
+                              radius_m: float) -> np.ndarray:
+    """Dilate a WHP-grid mask by the fringe-equivalent of a radius.
+
+    The dilation uses the larger of the physical radius and the
+    fringe-equivalent radius (radius / 0.5 mi × FRINGE_EQUIVALENT_DEG).
+    """
+    whp = universe.whp
+    from scipy import ndimage
+
+    grid = whp.grid
+    lat_mid = (grid.bbox.min_lat + grid.bbox.max_lat) / 2.0
+    from ..geo.projection import meters_per_degree
+    mx, my = meters_per_degree(lat_mid)
+    fringe_cells = (radius_m / _HALF_MILE_M) * FRINGE_EQUIVALENT_DEG \
+        / grid.res
+    rx = max(radius_m / (grid.res * mx), fringe_cells)
+    ry = max(radius_m / (grid.res * my), fringe_cells)
+    return ndimage.binary_dilation(mask, structure=disk_footprint(rx, ry))
+
+
+def extend_very_high(universe: SyntheticUS,
+                     radius_miles: float = 0.5) -> ExtensionResult:
+    """Run the §3.8 experiment.
+
+    The dilated very-high mask is unioned with the original at-risk
+    classes; duplicates (dilated cells already moderate/high) do not
+    double count, exactly as in the paper ("we remove any duplicates from
+    the extended very high region that overlaps with the high or moderate
+    regions").
+    """
+    whp = universe.whp
+    cells = universe.cells
+    scale = universe.universe_scale
+    radius_m = miles_to_meters(radius_miles)
+
+    vh_mask = whp.class_mask(WHPClass.VERY_HIGH)
+    vh_extended = _dilate_fringe_equivalent(universe, vh_mask, radius_m)
+    # Extended VH never swallows water/outside-CONUS cells.
+    land = whp.fuel.data > 0
+    vh_extended &= land | vh_mask
+
+    at_risk_before = whp.at_risk_mask()
+    at_risk_after = at_risk_before | vh_extended
+
+    classes = classify_cells(cells, whp)
+    grid = whp.grid
+    rows, cols = grid.rowcol(cells.lons, cells.lats)
+    ok = grid.inside(rows, cols)
+
+    in_vh_ext = np.zeros(len(cells), dtype=bool)
+    in_vh_ext[ok] = vh_extended[rows[ok], cols[ok]]
+    in_at_risk_after = np.zeros(len(cells), dtype=bool)
+    in_at_risk_after[ok] = at_risk_after[rows[ok], cols[ok]]
+
+    vh_before = int(round((classes == int(WHPClass.VERY_HIGH)).sum()
+                          * scale))
+    vh_after = int(round(in_vh_ext.sum() * scale))
+    total_before = int(round(
+        (classes >= int(WHPClass.MODERATE)).sum() * scale))
+    total_after = int(round(in_at_risk_after.sum() * scale))
+
+    validation_before = validate_whp_2019(universe)
+    validation_after = validate_whp_2019(
+        universe, at_risk_mask_override=at_risk_after)
+
+    return ExtensionResult(
+        radius_miles=radius_miles,
+        vh_before=vh_before,
+        vh_after=vh_after,
+        total_before=total_before,
+        total_after=total_after,
+        validation_before=validation_before,
+        validation_after=validation_after,
+    )

@@ -1,0 +1,79 @@
+"""Future wildfire risk from climate change (§3.9, Figures 14–15).
+
+Overlays the Salt Lake City–Denver corridor ecoregions (with Littell et
+al. projected changes in area burned) with cellular infrastructure and
+the current WHP, producing the per-ecoregion exposure table behind
+Figures 14 and 15: how many transceivers sit in each ecoregion, how many
+of those are already at risk, and what the projected 2040s/2080s change
+implies for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.ecoregions import Ecoregion, slc_denver_ecoregions, slc_denver_window
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from .overlay import classify_cells
+
+__all__ = ["EcoregionExposure", "future_risk_analysis"]
+
+
+@dataclass(frozen=True)
+class EcoregionExposure:
+    """One ecoregion's infrastructure exposure (scaled counts)."""
+
+    code: str
+    name: str
+    delta_2040_pct: float
+    delta_2080_pct: float
+    transceivers: int
+    at_risk_transceivers: int       # currently WHP moderate+
+    projected_at_risk_2040: int     # at-risk scaled by (1 + delta)
+
+    @property
+    def increasing(self) -> bool:
+        return self.delta_2040_pct > 0
+
+
+def future_risk_analysis(universe: SyntheticUS) -> list[EcoregionExposure]:
+    """Per-ecoregion exposure in the SLC–Denver window.
+
+    ``projected_at_risk_2040`` applies the ecoregion's projected change
+    in area burned to the currently at-risk count as a first-order
+    exposure index (clamped at zero for decreasing regions).
+    """
+    cells = universe.cells
+    classes = classify_cells(cells, universe.whp)
+    scale = universe.universe_scale
+    window = slc_denver_window()
+    in_window = window.contains_many(cells.lons, cells.lats)
+
+    rows = []
+    for region in slc_denver_ecoregions():
+        inside = np.zeros(len(cells), dtype=bool)
+        idx = np.nonzero(in_window)[0]
+        if len(idx):
+            hit = region.polygon.contains_many(cells.lons[idx],
+                                               cells.lats[idx])
+            inside[idx[hit]] = True
+        n = int(round(inside.sum() * scale))
+        at_risk_raw = int((inside
+                           & (classes >= int(WHPClass.MODERATE))).sum())
+        at_risk = int(round(at_risk_raw * scale))
+        projected = int(round(
+            max(at_risk * (1.0 + region.delta_2040_pct / 100.0), 0.0)))
+        rows.append(EcoregionExposure(
+            code=region.code,
+            name=region.name,
+            delta_2040_pct=region.delta_2040_pct,
+            delta_2080_pct=region.delta_2080_pct,
+            transceivers=n,
+            at_risk_transceivers=at_risk,
+            projected_at_risk_2040=projected,
+        ))
+    rows.sort(key=lambda r: -r.delta_2040_pct)
+    return rows

@@ -1,0 +1,141 @@
+"""WHP hazard analysis: Figures 6–9 and the §3.3 headline numbers.
+
+Classifies every transceiver by WHP class and aggregates nationally, per
+state (Figure 8), and per capita (Figure 9).  Also computes the §3.3
+population-served estimate (the paper's ">85 million" figure): the
+aggregate population of the counties containing at-risk transceivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.states import StateAssigner, conus_states
+from ..data.universe import SyntheticUS
+from ..data.whp import AT_RISK_CLASSES, WHP_CLASS_NAMES, WHPClass
+from .overlay import classify_cells
+
+__all__ = ["HazardSummary", "StateHazard", "hazard_analysis",
+           "population_served_at_risk"]
+
+
+@dataclass(frozen=True)
+class StateHazard:
+    """Per-state at-risk transceiver counts (scaled to paper universe)."""
+
+    state: str
+    moderate: int
+    high: int
+    very_high: int
+    population: int
+
+    @property
+    def total(self) -> int:
+        return self.moderate + self.high + self.very_high
+
+    def per_thousand(self, whp_class: WHPClass | None = None) -> float:
+        """At-risk transceivers per thousand residents (Figure 9)."""
+        if whp_class is None:
+            count = self.total
+        else:
+            count = {WHPClass.MODERATE: self.moderate,
+                     WHPClass.HIGH: self.high,
+                     WHPClass.VERY_HIGH: self.very_high}[whp_class]
+        return 1000.0 * count / self.population
+
+
+@dataclass
+class HazardSummary:
+    """National + per-state WHP hazard overlay results."""
+
+    class_counts: dict[str, int]          # class name -> scaled count
+    class_counts_raw: dict[str, int]      # class name -> raw count
+    states: list[StateHazard]             # sorted by total, descending
+    classes_per_transceiver: np.ndarray = field(repr=False)
+
+    @property
+    def at_risk_total(self) -> int:
+        return sum(self.class_counts[WHP_CLASS_NAMES[c]]
+                   for c in AT_RISK_CLASSES)
+
+    def top_states(self, n: int = 7,
+                   whp_class: WHPClass | None = None) -> list[str]:
+        """Figure 8: states ranked by at-risk transceivers."""
+        if whp_class is None:
+            key = lambda s: s.total
+        else:
+            key = lambda s: {WHPClass.MODERATE: s.moderate,
+                             WHPClass.HIGH: s.high,
+                             WHPClass.VERY_HIGH: s.very_high}[whp_class]
+        return [s.state for s in
+                sorted(self.states, key=key, reverse=True)[:n]]
+
+    def top_states_per_capita(self, n: int = 5,
+                              whp_class: WHPClass | None = None) \
+            -> list[str]:
+        """Figure 9: states ranked by at-risk transceivers per capita."""
+        ranked = sorted(self.states,
+                        key=lambda s: s.per_thousand(whp_class),
+                        reverse=True)
+        return [s.state for s in ranked[:n]]
+
+
+def hazard_analysis(universe: SyntheticUS) -> HazardSummary:
+    """Run the Figure 7/8/9 pipeline."""
+    cells = universe.cells
+    classes = classify_cells(cells, universe.whp)
+    scale = universe.universe_scale
+
+    class_counts_raw = {}
+    class_counts = {}
+    for whp_class in WHPClass:
+        if whp_class == WHPClass.NON_BURNABLE:
+            continue
+        raw = int((classes == int(whp_class)).sum())
+        class_counts_raw[WHP_CLASS_NAMES[whp_class]] = raw
+        class_counts[WHP_CLASS_NAMES[whp_class]] = int(round(raw * scale))
+
+    assigner = StateAssigner()
+    state_of = assigner.assign_many(cells.lons, cells.lats)
+    states = []
+    for abbr, state in conus_states().items():
+        in_state = state_of == abbr
+        if not in_state.any():
+            counts = {c: 0 for c in AT_RISK_CLASSES}
+        else:
+            sub = classes[in_state]
+            counts = {c: int(round((sub == int(c)).sum() * scale))
+                      for c in AT_RISK_CLASSES}
+        states.append(StateHazard(
+            state=abbr,
+            moderate=counts[WHPClass.MODERATE],
+            high=counts[WHPClass.HIGH],
+            very_high=counts[WHPClass.VERY_HIGH],
+            population=state.population,
+        ))
+    states.sort(key=lambda s: s.total, reverse=True)
+    return HazardSummary(class_counts=class_counts,
+                         class_counts_raw=class_counts_raw,
+                         states=states,
+                         classes_per_transceiver=classes)
+
+
+def population_served_at_risk(universe: SyntheticUS,
+                              summary: HazardSummary | None = None) -> int:
+    """§3.3: aggregate population of counties with at-risk transceivers.
+
+    The paper reports >85M people in "the areas served by these
+    transceivers"; we interpret areas as counties (the paper's §3.6 uses
+    county population as the service index).
+    """
+    if summary is None:
+        summary = hazard_analysis(universe)
+    cells = universe.cells
+    at_risk = summary.classes_per_transceiver >= int(WHPClass.MODERATE)
+    counties = universe.counties
+    idx = counties.assign_many(cells.lons[at_risk], cells.lats[at_risk])
+    idx = np.unique(idx[idx >= 0])
+    pops = counties.populations()
+    return int(pops[idx].sum())

@@ -1,0 +1,69 @@
+"""Historical analysis: Table 1 and Figures 3–4 (§3.1).
+
+For each year 2000–2018 the pipeline overlays that year's fire perimeters
+with the transceiver universe and reports the paper's Table 1 columns:
+number of fires, acres burned, transceivers within wildfire perimeters,
+and transceivers per million acres burned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.historical_stats import STUDY_YEARS, year_stats
+from ..data.universe import SyntheticUS
+from .overlay import FireOverlayResult, overlay_fires
+
+__all__ = ["Table1Row", "historical_analysis", "total_in_perimeters"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One year of the paper's Table 1."""
+
+    year: int
+    n_fires: int
+    acres_burned_millions: float
+    transceivers_in_perimeters: int          # raw synthetic count
+    transceivers_in_perimeters_scaled: int   # rescaled to paper universe
+    transceivers_per_m_acres: float          # scaled count / M acres
+
+
+def historical_analysis(universe: SyntheticUS,
+                        years: tuple[int, ...] = STUDY_YEARS) \
+        -> list[Table1Row]:
+    """Build Table 1 (most-recent year first, as in the paper)."""
+    rows = []
+    scale = universe.universe_scale
+    for year in years:
+        season = universe.fire_season(year)
+        result = overlay_fires(universe.cells, season.fires, year=year)
+        stats = year_stats(year)
+        scaled = result.scaled_count(scale)
+        rows.append(Table1Row(
+            year=year,
+            n_fires=stats.n_fires,
+            acres_burned_millions=stats.acres_burned,
+            transceivers_in_perimeters=result.n_in_perimeter,
+            transceivers_in_perimeters_scaled=scaled,
+            transceivers_per_m_acres=scaled / stats.acres_burned,
+        ))
+    return sorted(rows, key=lambda r: -r.year)
+
+
+def total_in_perimeters(universe: SyntheticUS,
+                        years: tuple[int, ...] = STUDY_YEARS) \
+        -> tuple[int, np.ndarray]:
+    """Figure 4: union of transceivers inside any perimeter, 2000-2018.
+
+    Returns (scaled count, union mask over the universe).
+    """
+    union = np.zeros(len(universe.cells), dtype=bool)
+    for year in years:
+        season = universe.fire_season(year)
+        result = overlay_fires(universe.cells, season.fires, year=year)
+        union |= result.in_perimeter_mask
+    scaled = int(round(union.sum() * universe.universe_scale))
+    return scaled, union

@@ -1,0 +1,120 @@
+"""Metro-area analysis: Figures 12–13 and the §3.6 city counts.
+
+Transceivers are attributed to the nearest metro anchor within a fixed
+great-circle radius; per-metro at-risk counts by WHP class produce the
+Figure 12 ranking, and the §3.6 city-level "WHP very high × county very
+dense" counts (Los Angeles 3,547; Miami 1,536; ... Las Vegas 10).
+
+The paper groups San Francisco and San Jose into one Bay-Area entry; we
+do the same via ``CITY_GROUPS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.cities import PAPER_METROS, city_by_name
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from ..geo.projection import haversine_m
+from .overlay import classify_cells
+from .population_impact import population_impact_analysis
+
+__all__ = ["MetroRisk", "metro_risk_analysis", "city_very_high_counts",
+           "CITY_GROUPS", "DEFAULT_METRO_RADIUS_M"]
+
+#: Metro assignment radius (~100 km covers a metro's WUI fringe).
+DEFAULT_METRO_RADIUS_M = 100_000.0
+
+#: City groupings used in §3.6 (Bay Area combines SF and San Jose).
+CITY_GROUPS = {
+    "San Francisco/San Jose": ("San Francisco", "San Jose"),
+    "Los Angeles": ("Los Angeles",),
+    "San Diego": ("San Diego",),
+    "Miami": ("Miami", "Fort Lauderdale"),
+    "Phoenix": ("Phoenix",),
+    "New York City": ("New York City",),
+    "Las Vegas": ("Las Vegas",),
+}
+
+
+@dataclass(frozen=True)
+class MetroRisk:
+    """Per-metro at-risk transceiver counts (scaled)."""
+
+    metro: str
+    moderate: int
+    high: int
+    very_high: int
+
+    @property
+    def total(self) -> int:
+        return self.moderate + self.high + self.very_high
+
+
+def _assign_metro(universe: SyntheticUS, metro_names: tuple[str, ...],
+                  radius_m: float) -> np.ndarray:
+    """Index of the nearest listed metro within radius, else -1."""
+    cells = universe.cells
+    best_idx = np.full(len(cells), -1, dtype=np.int64)
+    best_d = np.full(len(cells), np.inf)
+    for i, name in enumerate(metro_names):
+        city = city_by_name(name)
+        d = haversine_m(cells.lons, cells.lats,
+                        np.full(len(cells), city.lon),
+                        np.full(len(cells), city.lat))
+        closer = (d < best_d) & (d <= radius_m)
+        best_idx[closer] = i
+        best_d[closer] = d[closer]
+    return best_idx
+
+
+def metro_risk_analysis(universe: SyntheticUS,
+                        metros: tuple[str, ...] = PAPER_METROS,
+                        radius_m: float = DEFAULT_METRO_RADIUS_M) \
+        -> list[MetroRisk]:
+    """Figure 12: metros ranked by at-risk transceivers."""
+    cells = universe.cells
+    classes = classify_cells(cells, universe.whp)
+    scale = universe.universe_scale
+    metro_idx = _assign_metro(universe, metros, radius_m)
+
+    rows = []
+    for i, name in enumerate(metros):
+        sub = classes[metro_idx == i]
+        rows.append(MetroRisk(
+            metro=name,
+            moderate=int(round((sub == int(WHPClass.MODERATE)).sum()
+                               * scale)),
+            high=int(round((sub == int(WHPClass.HIGH)).sum() * scale)),
+            very_high=int(round((sub == int(WHPClass.VERY_HIGH)).sum()
+                                * scale)),
+        ))
+    rows.sort(key=lambda r: r.total, reverse=True)
+    return rows
+
+
+def city_very_high_counts(universe: SyntheticUS,
+                          radius_m: float = DEFAULT_METRO_RADIUS_M) \
+        -> dict[str, int]:
+    """§3.6: WHP-VH transceivers in >1.5M counties, grouped by city."""
+    impact = population_impact_analysis(universe)
+    cells = universe.cells
+    scale = universe.universe_scale
+
+    flat_names: list[str] = []
+    group_of: list[str] = []
+    for group, members in CITY_GROUPS.items():
+        for member in members:
+            flat_names.append(member)
+            group_of.append(group)
+    metro_idx = _assign_metro(universe, tuple(flat_names), radius_m)
+
+    counts: dict[str, int] = {g: 0 for g in CITY_GROUPS}
+    mask = impact.panel_vh_both_mask
+    for i, group in enumerate(group_of):
+        raw = int((mask & (metro_idx == i)).sum())
+        counts[group] += int(round(raw * scale))
+    return counts

@@ -1,0 +1,83 @@
+"""Population-impact analysis: Figures 10–11 and §3.6.
+
+Buckets at-risk transceivers by the population-density category of their
+county — moderately dense (200k–500k), dense (500k–1.5M), very dense
+(>1.5M) — producing the Figure 10 matrix, the Figure 11 map subsets, and
+the paper's headline "57,504 transceivers in the most densely populated
+counties".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.counties import POP_CATEGORY_NAMES, PopCategory
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from .overlay import classify_cells
+
+__all__ = ["PopulationImpact", "population_impact_analysis"]
+
+
+@dataclass
+class PopulationImpact:
+    """WHP class × county density matrix plus the subset masks."""
+
+    # matrix[whp class name][pop category name] -> scaled count
+    matrix: dict[str, dict[str, int]]
+    at_risk_in_pop_counties: int        # WHP M+ in counties >200k
+    at_risk_in_vh_pop_counties: int     # WHP M+ in counties >1.5M
+    vh_whp_in_vh_pop_counties: int      # WHP VH in counties >1.5M
+    n_vh_pop_counties: int
+    # masks over the transceiver universe for Figure 11's three panels
+    panel_all_mask: np.ndarray = field(repr=False)
+    panel_vh_pop_mask: np.ndarray = field(repr=False)
+    panel_vh_both_mask: np.ndarray = field(repr=False)
+
+
+def population_impact_analysis(universe: SyntheticUS) -> PopulationImpact:
+    """Run the §3.6 pipeline."""
+    cells = universe.cells
+    classes = classify_cells(cells, universe.whp)
+    counties = universe.counties
+    scale = universe.universe_scale
+
+    county_idx = counties.assign_many(cells.lons, cells.lats)
+    county_cats = counties.categories()
+    cat_per_cell = np.full(len(cells), int(PopCategory.RURAL),
+                           dtype=np.int8)
+    ok = county_idx >= 0
+    cat_per_cell[ok] = county_cats[county_idx[ok]]
+
+    at_risk = classes >= int(WHPClass.MODERATE)
+
+    matrix: dict[str, dict[str, int]] = {}
+    for whp_class in (WHPClass.MODERATE, WHPClass.HIGH,
+                      WHPClass.VERY_HIGH):
+        row = {}
+        in_class = classes == int(whp_class)
+        for cat in (PopCategory.POP_M, PopCategory.POP_H,
+                    PopCategory.POP_VH):
+            count = int((in_class & (cat_per_cell == int(cat))).sum())
+            row[POP_CATEGORY_NAMES[cat]] = int(round(count * scale))
+        from ..data.whp import WHP_CLASS_NAMES
+        matrix[WHP_CLASS_NAMES[whp_class]] = row
+
+    in_pop = cat_per_cell >= int(PopCategory.POP_M)
+    in_vh_pop = cat_per_cell == int(PopCategory.POP_VH)
+    panel_all = at_risk & in_pop
+    panel_vh_pop = at_risk & in_vh_pop
+    panel_vh_both = (classes == int(WHPClass.VERY_HIGH)) & in_vh_pop
+
+    return PopulationImpact(
+        matrix=matrix,
+        at_risk_in_pop_counties=int(round(panel_all.sum() * scale)),
+        at_risk_in_vh_pop_counties=int(round(panel_vh_pop.sum() * scale)),
+        vh_whp_in_vh_pop_counties=int(round(panel_vh_both.sum() * scale)),
+        n_vh_pop_counties=len(counties.very_dense()),
+        panel_all_mask=panel_all,
+        panel_vh_pop_mask=panel_vh_pop,
+        panel_vh_both_mask=panel_vh_both,
+    )

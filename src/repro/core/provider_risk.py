@@ -1,0 +1,91 @@
+"""Provider risk (Table 2, §3.5).
+
+Per provider group: transceivers in each at-risk WHP class, both as
+scaled absolute counts and as a percentage of that provider's fleet.
+Also surfaces the count of distinct regional carriers with at-risk
+infrastructure (the paper's footnote: 46 smaller providers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.cells import PROVIDER_GROUPS
+from ..data.providers import MAJOR_PROVIDERS, provider_registry
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from .overlay import classify_cells
+
+__all__ = ["ProviderRisk", "provider_risk_analysis",
+           "regional_carriers_at_risk"]
+
+
+@dataclass(frozen=True)
+class ProviderRisk:
+    """One row of Table 2."""
+
+    provider: str
+    fleet_size: int                     # scaled universe transceivers
+    moderate: int
+    high: int
+    very_high: int
+
+    def pct(self, whp_class: WHPClass) -> float:
+        """Percent of the provider's fleet in the class."""
+        count = {WHPClass.MODERATE: self.moderate,
+                 WHPClass.HIGH: self.high,
+                 WHPClass.VERY_HIGH: self.very_high}[whp_class]
+        if self.fleet_size == 0:
+            return 0.0
+        return 100.0 * count / self.fleet_size
+
+    @property
+    def total_at_risk(self) -> int:
+        return self.moderate + self.high + self.very_high
+
+
+def provider_risk_analysis(universe: SyntheticUS) -> list[ProviderRisk]:
+    """Build Table 2 rows in the paper's provider order."""
+    cells = universe.cells
+    classes = classify_cells(cells, universe.whp)
+    scale = universe.universe_scale
+    rows = []
+    for code, name in enumerate(PROVIDER_GROUPS):
+        mask = cells.provider_group == code
+        sub = classes[mask]
+        rows.append(ProviderRisk(
+            provider=name,
+            fleet_size=int(round(mask.sum() * scale)),
+            moderate=int(round((sub == int(WHPClass.MODERATE)).sum()
+                               * scale)),
+            high=int(round((sub == int(WHPClass.HIGH)).sum() * scale)),
+            very_high=int(round((sub == int(WHPClass.VERY_HIGH)).sum()
+                                * scale)),
+        ))
+    return rows
+
+
+def regional_carriers_at_risk(universe: SyntheticUS) -> int:
+    """Count distinct regional carriers with at-risk infrastructure.
+
+    The paper's footnote 1 reports 46.  A carrier counts when at least
+    one of its transceivers (identified by PLMN) is in a moderate+ cell.
+    """
+    cells = universe.cells
+    classes = classify_cells(cells, universe.whp)
+    at_risk = classes >= int(WHPClass.MODERATE)
+    others = cells.provider_group == PROVIDER_GROUPS.index("Others")
+    mask = at_risk & others
+    plmns = set(zip(cells.mcc[mask].tolist(), cells.mnc[mask].tolist()))
+    carriers = set()
+    registry = provider_registry()
+    plmn_owner = {(p.mcc, p.mnc): prov.name
+                  for prov in registry.values() for p in prov.plmns
+                  if prov.name not in MAJOR_PROVIDERS}
+    for key in plmns:
+        owner = plmn_owner.get(key)
+        if owner is not None:
+            carriers.add(owner)
+    return len(carriers)

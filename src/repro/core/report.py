@@ -1,0 +1,224 @@
+"""Text renderers for the paper's tables and figure series.
+
+Every benchmark prints through these, so EXPERIMENTS.md rows and the
+console output stay consistent.  Renderers take the analysis dataclasses
+and return plain strings (monospace tables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..data import paper_constants as paper
+from ..data.whp import WHPClass
+from .case_study import CaseStudySummary
+from .extension import ExtensionResult
+from .future import EcoregionExposure
+from .hazard import HazardSummary
+from .historical import Table1Row
+from .metro import MetroRisk
+from .population_impact import PopulationImpact
+from .provider_risk import ProviderRisk
+from .technology import TechnologyRisk
+from .validation import ValidationResult
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_figure5",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "render_figure10",
+    "render_figure12",
+    "render_validation",
+    "render_extension",
+    "render_ecoregions",
+]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render a right-aligned monospace table."""
+    rows = [[str(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Paper Table 1: historical wildfire statistics."""
+    body = []
+    for r in rows:
+        expected = paper.TABLE1_TRANSCEIVERS_IN_PERIMETERS.get(r.year, "-")
+        body.append([r.year, f"{r.n_fires:,}",
+                     f"{r.acres_burned_millions:.3f}",
+                     f"{r.transceivers_in_perimeters_scaled:,}",
+                     f"{r.transceivers_per_m_acres:,.0f}",
+                     f"{expected:,}" if expected != "-" else "-"])
+    return format_table(
+        ["Year", "Fires", "MAcres", "Tx-in-perim (scaled)",
+         "Tx/MAcre", "Paper"], body)
+
+
+def render_table2(rows: list[ProviderRisk]) -> str:
+    """Paper Table 2: provider risk."""
+    body = []
+    for r in rows:
+        p = paper.TABLE2_PROVIDER_RISK.get(r.provider)
+        body.append([
+            r.provider,
+            f"{r.moderate:,} ({r.pct(WHPClass.MODERATE):.2f}%)",
+            f"{r.high:,} ({r.pct(WHPClass.HIGH):.2f}%)",
+            f"{r.very_high:,} ({r.pct(WHPClass.VERY_HIGH):.2f}%)",
+            (f"{p['Moderate'][0]:,} ({p['Moderate'][1]:.2f}%)"
+             if p else "-"),
+        ])
+    return format_table(
+        ["Provider", "WHP M", "WHP H", "WHP VH", "Paper (M)"], body)
+
+
+def render_table3(rows: list[TechnologyRisk]) -> str:
+    """Paper Table 3: transceiver types at risk."""
+    body = []
+    for r in rows:
+        p = paper.TABLE3_TECHNOLOGY_RISK.get(r.technology)
+        body.append([r.technology, f"{r.very_high:,}", f"{r.high:,}",
+                     f"{r.moderate:,}", f"{r.total:,}",
+                     f"{p[3]:,}" if p else "-"])
+    return format_table(
+        ["Type", "WHP VH", "WHP H", "WHP M", "Total", "Paper total"],
+        body)
+
+
+def render_figure5(summary: CaseStudySummary) -> str:
+    """Figure 5 series: daily outages by cause."""
+    body = []
+    for i, day in enumerate(summary.days):
+        total = summary.power[i] + summary.backhaul[i] + summary.damage[i]
+        body.append([day, summary.power[i], summary.backhaul[i],
+                     summary.damage[i], total])
+    table = format_table(["Day", "Power", "Backhaul", "Damage", "Total"],
+                         body)
+    notes = (f"\npeak {summary.peak_total} on {summary.peak_day} "
+             f"({summary.peak_power_share:.0%} power)"
+             f" | paper: {paper.DIRS_CASE_STUDY['peak_sites_out']} "
+             f"(>{paper.DIRS_CASE_STUDY['power_share_at_peak']:.0%} power)"
+             f"\nfinal {summary.final_total} out, "
+             f"{summary.final_damaged} damaged | paper: "
+             f"{paper.DIRS_CASE_STUDY['final_sites_out']} out, "
+             f"{paper.DIRS_CASE_STUDY['final_damaged']} damaged")
+    return table + notes
+
+
+def render_figure7(summary: HazardSummary) -> str:
+    """Figure 7 headline counts."""
+    body = []
+    for name in ("Moderate", "High", "Very High"):
+        body.append([name, f"{summary.class_counts[name]:,}",
+                     f"{paper.WHP_AT_RISK_COUNTS[name]:,}"])
+    body.append(["Total at-risk", f"{summary.at_risk_total:,}",
+                 f"{paper.WHP_AT_RISK_TOTAL:,}"])
+    return format_table(["WHP class", "Measured (scaled)", "Paper"], body)
+
+
+def render_figure8(summary: HazardSummary, n: int = 10) -> str:
+    """Figure 8: top states by at-risk transceivers."""
+    body = []
+    for s in summary.states[:n]:
+        body.append([s.state, f"{s.moderate:,}", f"{s.high:,}",
+                     f"{s.very_high:,}", f"{s.total:,}"])
+    table = format_table(["State", "Moderate", "High", "Very High",
+                          "Total"], body)
+    return (table + "\npaper top moderate states: "
+            + ", ".join(paper.TOP_MODERATE_STATES))
+
+
+def render_figure9(summary: HazardSummary, n: int = 10) -> str:
+    """Figure 9: per-capita at-risk by state."""
+    ranked = sorted(summary.states,
+                    key=lambda s: s.per_thousand(), reverse=True)[:n]
+    body = [[s.state, f"{s.per_thousand():.2f}",
+             f"{s.per_thousand(WHPClass.VERY_HIGH):.3f}"]
+            for s in ranked]
+    table = format_table(
+        ["State", "At-risk per 1000", "VH per 1000"], body)
+    return (table + "\npaper top VH per-capita states: "
+            + ", ".join(paper.TOP_VH_PER_CAPITA_STATES))
+
+
+def render_figure10(impact: PopulationImpact) -> str:
+    """Figure 10: WHP × population density matrix."""
+    cats = list(next(iter(impact.matrix.values())).keys())
+    body = []
+    for whp_name, row in impact.matrix.items():
+        body.append([whp_name] + [f"{row[c]:,}" for c in cats])
+    table = format_table(["WHP class"] + cats, body)
+    return (table
+            + f"\nat-risk in >1.5M counties: "
+              f"{impact.at_risk_in_vh_pop_counties:,} "
+              f"(paper {paper.POP_IMPACT['at_risk_in_vh_pop_counties']:,})"
+            + f"\nvery-dense counties: {impact.n_vh_pop_counties} "
+              f"(paper {paper.POP_IMPACT['n_vh_pop_counties']})")
+
+
+def render_figure12(rows: list[MetroRisk]) -> str:
+    """Figure 12: metro ranking."""
+    body = [[r.metro, f"{r.moderate:,}", f"{r.high:,}",
+             f"{r.very_high:,}", f"{r.total:,}"] for r in rows]
+    return format_table(["Metro", "Moderate", "High", "Very High",
+                         "Total"], body)
+
+
+def render_validation(result: ValidationResult) -> str:
+    """§3.4 validation summary."""
+    p = paper.VALIDATION_2019
+    lines = [
+        f"2019 in-perimeter transceivers: {result.in_perimeter_total} "
+        f"(scaled {result.scaled(result.in_perimeter_total):,}; "
+        f"paper {p['in_perimeter_total']})",
+        f"predicted at-risk: {result.predicted_at_risk} "
+        f"-> accuracy {result.accuracy:.0%} (paper {p['accuracy_pct']:.0f}%)",
+        f"misses inside LA fires: {result.missed_in_la_fires}/"
+        f"{result.missed} (paper {p['missed_in_la_fires']}/{p['missed']})",
+        f"accuracy excluding LA fires: "
+        f"{result.accuracy_excluding_la:.0%} "
+        f"(paper {p['accuracy_excluding_la_pct']:.0f}%)",
+    ]
+    return "\n".join(lines)
+
+
+def render_extension(result: ExtensionResult) -> str:
+    """§3.8 extension summary."""
+    p = paper.EXTENSION_HALF_MILE
+    lines = [
+        f"VH transceivers: {result.vh_before:,} -> {result.vh_after:,} "
+        f"(paper {p['vh_before']:,} -> {p['vh_after']:,})",
+        f"total at-risk: {result.total_before:,} -> "
+        f"{result.total_after:,} "
+        f"(paper {p['total_before']:,} -> {p['total_after']:,})",
+        f"validation accuracy: "
+        f"{result.validation_before.accuracy:.0%} -> "
+        f"{result.validation_after.accuracy:.0%} "
+        f"(paper 46% -> {p['accuracy_after_pct']:.0f}%)",
+    ]
+    return "\n".join(lines)
+
+
+def render_ecoregions(rows: list[EcoregionExposure]) -> str:
+    """§3.9 / Figures 14-15 table."""
+    body = [[r.code, r.name[:34], f"{r.delta_2040_pct:+.0f}%",
+             f"{r.transceivers:,}", f"{r.at_risk_transceivers:,}",
+             f"{r.projected_at_risk_2040:,}"] for r in rows]
+    return format_table(
+        ["Code", "Ecoregion", "Δ2040", "Transceivers", "At-risk",
+         "Projected"], body)

@@ -1,0 +1,54 @@
+"""Technology risk (Table 3, §3.5).
+
+At-risk transceiver counts per radio access technology (CDMA, GSM, LTE,
+UMTS) per WHP class.  The paper finds LTE has the largest at-risk count
+in every class (widest footprint) and that no 5G transceivers exist in
+the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.radios import RadioType
+from ..data.universe import SyntheticUS
+from ..data.whp import WHPClass
+from .overlay import classify_cells
+
+__all__ = ["TechnologyRisk", "technology_risk_analysis"]
+
+
+@dataclass(frozen=True)
+class TechnologyRisk:
+    """One row of Table 3 (counts scaled to the paper universe)."""
+
+    technology: str
+    very_high: int
+    high: int
+    moderate: int
+
+    @property
+    def total(self) -> int:
+        return self.very_high + self.high + self.moderate
+
+
+def technology_risk_analysis(universe: SyntheticUS) \
+        -> list[TechnologyRisk]:
+    """Build Table 3 rows in the paper's order (CDMA, GSM, LTE, UMTS)."""
+    cells = universe.cells
+    classes = classify_cells(cells, universe.whp)
+    scale = universe.universe_scale
+    rows = []
+    for radio in (RadioType.CDMA, RadioType.GSM, RadioType.LTE,
+                  RadioType.UMTS):
+        mask = cells.radio == int(radio)
+        sub = classes[mask]
+        rows.append(TechnologyRisk(
+            technology=radio.name,
+            very_high=int(round((sub == int(WHPClass.VERY_HIGH)).sum()
+                                * scale)),
+            high=int(round((sub == int(WHPClass.HIGH)).sum() * scale)),
+            moderate=int(round((sub == int(WHPClass.MODERATE)).sum()
+                               * scale)),
+        ))
+    return rows

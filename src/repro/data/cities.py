@@ -1,0 +1,311 @@
+"""Metro anchors for the synthetic US.
+
+About 70 city records shape everything downstream: the population surface
+(city kernels), transceiver density, the highway network (cities are graph
+nodes), county naming/populations for the density categories of §3.6, and
+the metro windows of Figures 12–13.
+
+Coordinates are the real city centers; metro and county populations are
+2018-era estimates rounded to 10k.  ``county_name``/``county_pop`` seed the
+named counties in :mod:`repro.data.counties` — the paper's "23 most
+populous counties (>1.5M)" emerge from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = ["City", "conus_cities", "city_by_name", "PAPER_METROS",
+           "COUNTY_BBOXES", "WILDLAND_FRONTS"]
+
+
+@dataclass(frozen=True)
+class City:
+    """A metro anchor point."""
+
+    name: str
+    state: str
+    lon: float
+    lat: float
+    metro_pop: int
+    county_name: str
+    county_pop: int
+
+    @property
+    def county_bbox(self) -> tuple[float, float, float, float] | None:
+        """Approximate real county extent (min_lon, min_lat, max_lon,
+        max_lat), or None for cities without an embedded extent."""
+        return COUNTY_BBOXES.get(self.county_name)
+
+    @property
+    def wildland_front(self) -> tuple[float, float, float, float] | None:
+        """(lon, lat, sigma_deg, propensity_boost) of the adjacent
+        high-fuel terrain feature (mountain front, Everglades edge), or
+        None."""
+        front = WILDLAND_FRONTS.get(self.name)
+        if front is None:
+            return None
+        dlon, dlat, sigma, boost = front
+        return (self.lon + dlon, self.lat + dlat, sigma, boost)
+
+
+# name, state, lon, lat, metro pop, county name, county pop
+_CITY_TABLE = [
+    ("Seattle", "WA", -122.33, 47.61, 3_940_000, "King", 2_230_000),
+    ("Portland", "OR", -122.68, 45.52, 2_480_000, "Multnomah", 810_000),
+    ("Spokane", "WA", -117.43, 47.66, 570_000, "Spokane", 520_000),
+    ("Boise", "ID", -116.20, 43.62, 730_000, "Ada", 470_000),
+    ("Billings", "MT", -108.50, 45.78, 180_000, "Yellowstone", 160_000),
+    ("Sacramento", "CA", -121.49, 38.58, 2_350_000, "Sacramento", 1_540_000),
+    ("San Francisco", "CA", -122.42, 37.77, 1_700_000, "San Francisco",
+     880_000),
+    ("Oakland", "CA", -122.27, 37.80, 1_150_000, "Alameda", 1_660_000),
+    ("San Jose", "CA", -121.89, 37.34, 2_000_000, "Santa Clara", 1_940_000),
+    ("Fresno", "CA", -119.79, 36.74, 1_000_000, "Fresno", 990_000),
+    ("Los Angeles", "CA", -118.24, 34.05, 13_200_000, "Los Angeles",
+     10_100_000),
+    ("Riverside", "CA", -117.40, 33.95, 2_440_000, "Riverside", 2_450_000),
+    ("San Bernardino", "CA", -117.29, 34.11, 2_170_000, "San Bernardino",
+     2_170_000),
+    ("Anaheim", "CA", -117.91, 33.84, 3_190_000, "Orange", 3_190_000),
+    ("San Diego", "CA", -117.16, 32.72, 3_340_000, "San Diego", 3_340_000),
+    ("Las Vegas", "NV", -115.14, 36.17, 2_230_000, "Clark", 2_230_000),
+    ("Reno", "NV", -119.81, 39.53, 470_000, "Washoe", 470_000),
+    ("Phoenix", "AZ", -112.07, 33.45, 4_860_000, "Maricopa", 4_410_000),
+    ("Tucson", "AZ", -110.97, 32.22, 1_040_000, "Pima", 1_040_000),
+    ("Albuquerque", "NM", -106.65, 35.08, 920_000, "Bernalillo", 680_000),
+    ("El Paso", "TX", -106.49, 31.76, 840_000, "El Paso", 840_000),
+    ("Denver", "CO", -104.99, 39.74, 2_930_000, "Denver", 720_000),
+    ("Colorado Springs", "CO", -104.82, 38.83, 740_000, "El Paso CO",
+     710_000),
+    ("Salt Lake City", "UT", -111.89, 40.76, 1_220_000, "Salt Lake",
+     1_150_000),
+    ("Dallas", "TX", -96.80, 32.78, 2_900_000, "Dallas", 2_640_000),
+    ("Fort Worth", "TX", -97.33, 32.76, 2_430_000, "Tarrant", 2_080_000),
+    ("Houston", "TX", -95.37, 29.76, 5_600_000, "Harris", 4_700_000),
+    ("San Antonio", "TX", -98.49, 29.42, 2_510_000, "Bexar", 1_990_000),
+    ("Austin", "TX", -97.74, 30.27, 2_170_000, "Travis", 1_250_000),
+    ("Oklahoma City", "OK", -97.52, 35.47, 1_400_000, "Oklahoma", 790_000),
+    ("Tulsa", "OK", -95.99, 36.15, 990_000, "Tulsa", 650_000),
+    ("Wichita", "KS", -97.34, 37.69, 640_000, "Sedgwick", 510_000),
+    ("Kansas City", "MO", -94.58, 39.10, 2_140_000, "Jackson", 700_000),
+    ("Omaha", "NE", -95.93, 41.26, 940_000, "Douglas", 570_000),
+    ("Minneapolis", "MN", -93.27, 44.98, 3_630_000, "Hennepin", 1_260_000),
+    ("Chicago", "IL", -87.63, 41.88, 7_600_000, "Cook", 5_150_000),
+    ("St. Louis", "MO", -90.20, 38.63, 2_810_000, "St. Louis", 1_000_000),
+    ("Milwaukee", "WI", -87.91, 43.04, 1_580_000, "Milwaukee", 950_000),
+    ("Detroit", "MI", -83.05, 42.33, 2_300_000, "Wayne", 1_750_000),
+    ("Columbus", "OH", -82.99, 39.96, 2_110_000, "Franklin", 1_310_000),
+    ("Cleveland", "OH", -81.69, 41.50, 2_060_000, "Cuyahoga", 1_240_000),
+    ("Cincinnati", "OH", -84.51, 39.10, 2_190_000, "Hamilton", 820_000),
+    ("Indianapolis", "IN", -86.16, 39.77, 2_050_000, "Marion", 950_000),
+    ("Nashville", "TN", -86.78, 36.16, 1_930_000, "Davidson", 690_000),
+    ("Memphis", "TN", -90.05, 35.15, 1_350_000, "Shelby", 940_000),
+    ("Louisville", "KY", -85.76, 38.25, 1_300_000, "Jefferson", 770_000),
+    ("Atlanta", "GA", -84.39, 33.75, 4_200_000, "Fulton", 1_050_000),
+    ("Birmingham", "AL", -86.80, 33.52, 1_150_000, "Jefferson AL", 660_000),
+    ("New Orleans", "LA", -90.07, 29.95, 1_270_000, "Orleans", 390_000),
+    ("Little Rock", "AR", -92.29, 34.75, 740_000, "Pulaski", 390_000),
+    ("Jacksonville", "FL", -81.66, 30.33, 1_530_000, "Duval", 950_000),
+    ("Orlando", "FL", -81.38, 28.54, 2_570_000, "Orange FL", 1_380_000),
+    ("Tampa", "FL", -82.46, 27.95, 3_140_000, "Hillsborough", 1_440_000),
+    ("Miami", "FL", -80.19, 25.76, 2_760_000, "Miami-Dade", 2_760_000),
+    ("Fort Lauderdale", "FL", -80.14, 26.12, 1_950_000, "Broward",
+     1_950_000),
+    ("West Palm Beach", "FL", -80.05, 26.71, 1_490_000, "Palm Beach",
+     1_490_000),
+    ("Charlotte", "NC", -80.84, 35.23, 2_570_000, "Mecklenburg", 1_090_000),
+    ("Raleigh", "NC", -78.64, 35.78, 1_360_000, "Wake", 1_090_000),
+    ("Columbia", "SC", -81.03, 34.00, 830_000, "Richland", 410_000),
+    ("Charleston", "SC", -79.93, 32.78, 790_000, "Charleston", 400_000),
+    ("Virginia Beach", "VA", -76.00, 36.85, 1_730_000, "Virginia Beach",
+     450_000),
+    ("Richmond", "VA", -77.46, 37.54, 1_290_000, "Henrico", 330_000),
+    ("Washington", "DC", -77.04, 38.91, 3_900_000, "District of Columbia",
+     700_000),
+    ("Baltimore", "MD", -76.61, 39.29, 2_800_000, "Baltimore", 830_000),
+    ("Philadelphia", "PA", -75.17, 39.95, 4_300_000, "Philadelphia",
+     1_580_000),
+    ("Pittsburgh", "PA", -79.99, 40.44, 2_320_000, "Allegheny", 1_220_000),
+    ("Newark", "NJ", -74.17, 40.73, 2_040_000, "Essex", 800_000),
+    ("New York City", "NY", -74.01, 40.71, 11_500_000, "New York City",
+     8_400_000),
+    ("Hartford", "CT", -72.68, 41.77, 1_210_000, "Hartford", 890_000),
+    ("Providence", "RI", -71.41, 41.82, 1_620_000, "Providence", 640_000),
+    ("Boston", "MA", -71.06, 42.36, 3_200_000, "Middlesex", 1_610_000),
+    ("Buffalo", "NY", -78.88, 42.89, 1_130_000, "Erie", 920_000),
+    ("Des Moines", "IA", -93.62, 41.59, 700_000, "Polk", 490_000),
+    # Suburban county anchors around the largest metros: these keep
+    # county-tile populations realistic (the parent metro weights above
+    # are reduced by the same amounts).
+    ("Mineola", "NY", -73.64, 40.75, 1_360_000, "Nassau", 1_360_000),
+    ("White Plains", "NY", -73.77, 41.03, 970_000, "Westchester", 970_000),
+    ("Hackensack", "NJ", -74.05, 40.89, 940_000, "Bergen", 940_000),
+    ("Norristown", "PA", -75.34, 40.12, 830_000, "Montgomery PA", 830_000),
+    ("Doylestown", "PA", -75.13, 40.31, 630_000, "Bucks", 630_000),
+    ("Wheaton", "IL", -88.11, 41.87, 930_000, "DuPage", 930_000),
+    ("Waukegan", "IL", -87.84, 42.36, 700_000, "Lake IL", 700_000),
+    ("Fairfax", "VA", -77.30, 38.78, 1_150_000, "Fairfax", 1_150_000),
+    ("Rockville", "MD", -77.15, 39.08, 1_050_000, "Montgomery MD",
+     1_050_000),
+    ("Upper Marlboro", "MD", -76.85, 38.83, 910_000, "Prince George's",
+     910_000),
+    ("Salem", "MA", -70.90, 42.52, 790_000, "Essex MA", 790_000),
+    ("Worcester", "MA", -71.80, 42.26, 830_000, "Worcester", 830_000),
+    ("Pontiac", "MI", -83.29, 42.64, 1_260_000, "Oakland MI", 1_260_000),
+    ("Warren", "MI", -82.91, 42.67, 870_000, "Macomb", 870_000),
+    ("Lawrenceville", "GA", -84.00, 33.95, 930_000, "Gwinnett", 930_000),
+    ("Marietta", "GA", -84.55, 33.95, 760_000, "Cobb", 760_000),
+    ("Plano", "TX", -96.70, 33.02, 1_000_000, "Collin", 1_000_000),
+    ("Denton", "TX", -97.13, 33.21, 860_000, "Denton", 860_000),
+    ("Sugar Land", "TX", -95.62, 29.62, 790_000, "Fort Bend", 790_000),
+]
+
+
+
+#: Approximate real county extents for the anchored counties.  These give
+#: the named counties realistic footprints — crucially, Los Angeles
+#: county includes the San Gabriel mountains and Miami-Dade includes the
+#: Everglades edge, which is where their at-risk infrastructure lives
+#: (Figures 10-12 depend on this).
+COUNTY_BBOXES: dict[str, tuple[float, float, float, float]] = {
+    "King": (-122.55, 47.10, -121.00, 47.80),
+    "Multnomah": (-122.95, 45.40, -121.80, 45.70),
+    "Spokane": (-117.85, 47.20, -117.00, 48.05),
+    "Ada": (-116.55, 43.10, -115.95, 43.85),
+    "Yellowstone": (-109.00, 45.40, -107.80, 46.20),
+    "Sacramento": (-121.90, 38.00, -121.00, 38.75),
+    "San Francisco": (-122.55, 37.70, -122.35, 37.85),
+    "Alameda": (-122.35, 37.45, -121.45, 37.90),
+    "Santa Clara": (-122.20, 36.90, -121.20, 37.50),
+    "Fresno": (-120.90, 35.90, -118.35, 37.60),
+    "Los Angeles": (-118.95, 33.70, -117.65, 34.85),
+    "Riverside": (-117.70, 33.40, -114.40, 34.10),
+    "San Bernardino": (-117.80, 34.00, -114.10, 35.80),
+    "Orange": (-118.10, 33.35, -117.40, 33.95),
+    "San Diego": (-117.60, 32.53, -116.10, 33.50),
+    "Clark": (-115.90, 35.00, -114.00, 36.85),
+    "Washoe": (-120.00, 39.00, -119.55, 41.00),
+    "Maricopa": (-113.35, 32.50, -111.00, 34.05),
+    "Pima": (-113.35, 31.40, -110.45, 32.50),
+    "Bernalillo": (-107.20, 34.85, -106.15, 35.25),
+    "El Paso": (-106.65, 31.60, -105.90, 32.00),
+    "Denver": (-105.10, 39.60, -104.60, 39.95),
+    "El Paso CO": (-105.10, 38.50, -104.05, 39.15),
+    "Salt Lake": (-112.25, 40.40, -111.55, 40.92),
+    "Dallas": (-97.05, 32.55, -96.45, 33.00),
+    "Tarrant": (-97.55, 32.55, -97.03, 33.00),
+    "Harris": (-95.95, 29.50, -94.90, 30.20),
+    "Bexar": (-98.85, 29.10, -98.00, 29.75),
+    "Travis": (-98.15, 30.00, -97.35, 30.60),
+    "Oklahoma": (-97.80, 35.25, -97.10, 35.75),
+    "Tulsa": (-96.30, 35.90, -95.60, 36.45),
+    "Sedgwick": (-97.80, 37.40, -97.15, 37.85),
+    "Jackson": (-94.65, 38.80, -94.10, 39.25),
+    "Douglas": (-96.50, 41.10, -95.85, 41.40),
+    "Hennepin": (-93.80, 44.75, -93.15, 45.25),
+    "Cook": (-88.30, 41.45, -87.50, 42.15),
+    "St. Louis": (-90.75, 38.40, -90.10, 38.90),
+    "Milwaukee": (-88.10, 42.85, -87.80, 43.20),
+    "Wayne": (-83.60, 42.00, -82.90, 42.45),
+    "Franklin": (-83.30, 39.80, -82.75, 40.15),
+    "Cuyahoga": (-82.00, 41.30, -81.40, 41.60),
+    "Hamilton": (-84.85, 39.00, -84.25, 39.30),
+    "Marion": (-86.35, 39.60, -85.95, 39.95),
+    "Davidson": (-87.05, 36.00, -86.50, 36.40),
+    "Shelby": (-90.30, 34.98, -89.65, 35.40),
+    "Jefferson": (-85.95, 38.00, -85.40, 38.40),
+    "Fulton": (-84.85, 33.50, -84.25, 34.20),
+    "Jefferson AL": (-87.35, 33.20, -86.45, 33.85),
+    "Orleans": (-90.15, 29.85, -89.60, 30.20),
+    "Pulaski": (-92.60, 34.50, -92.00, 35.00),
+    "Duval": (-82.05, 30.10, -81.30, 30.60),
+    "Orange FL": (-81.70, 28.30, -80.85, 28.80),
+    "Hillsborough": (-82.65, 27.60, -82.05, 28.20),
+    "Miami-Dade": (-80.90, 25.10, -80.10, 25.98),
+    "Broward": (-80.90, 25.95, -80.05, 26.35),
+    "Palm Beach": (-80.90, 26.30, -79.98, 26.98),
+    "Mecklenburg": (-81.05, 35.00, -80.55, 35.50),
+    "Wake": (-78.95, 35.50, -78.25, 36.05),
+    "Richland": (-81.40, 33.75, -80.60, 34.30),
+    "Charleston": (-80.40, 32.50, -79.50, 33.20),
+    "Virginia Beach": (-76.25, 36.60, -75.90, 37.00),
+    "Henrico": (-77.70, 37.40, -77.20, 37.70),
+    "District of Columbia": (-77.12, 38.79, -76.91, 39.00),
+    "Baltimore": (-76.90, 39.20, -76.30, 39.70),
+    "Philadelphia": (-75.30, 39.85, -74.95, 40.15),
+    "Allegheny": (-80.40, 40.20, -79.70, 40.70),
+    "Essex": (-74.40, 40.65, -74.10, 40.90),
+    "New York City": (-74.26, 40.50, -73.70, 40.92),
+    "Hartford": (-73.05, 41.55, -72.40, 42.05),
+    "Providence": (-71.80, 41.70, -71.30, 42.02),
+    "Middlesex": (-71.90, 42.15, -71.00, 42.75),
+    "Erie": (-79.20, 42.45, -78.45, 43.10),
+    "Polk": (-93.85, 41.50, -93.30, 41.90),
+    "Nassau": (-73.77, 40.53, -73.40, 40.92),
+    "Westchester": (-73.98, 40.87, -73.48, 41.37),
+    "Bergen": (-74.30, 40.80, -73.90, 41.15),
+    "Montgomery PA": (-75.75, 40.00, -75.15, 40.50),
+    "Bucks": (-75.50, 40.05, -74.70, 40.65),
+    "DuPage": (-88.30, 41.65, -87.90, 42.00),
+    "Lake IL": (-88.20, 42.15, -87.70, 42.50),
+    "Fairfax": (-77.55, 38.60, -77.00, 39.05),
+    "Montgomery MD": (-77.55, 38.93, -76.90, 39.35),
+    "Prince George's": (-77.05, 38.50, -76.65, 39.00),
+    "Essex MA": (-71.30, 42.40, -70.60, 42.90),
+    "Worcester": (-72.35, 42.00, -71.45, 42.75),
+    "Oakland MI": (-83.70, 42.43, -83.00, 42.90),
+    "Macomb": (-83.10, 42.40, -82.60, 42.90),
+    "Gwinnett": (-84.30, 33.75, -83.80, 34.20),
+    "Cobb": (-84.85, 33.75, -84.40, 34.10),
+    "Collin": (-96.85, 32.98, -96.30, 33.45),
+    "Denton": (-97.40, 32.98, -96.85, 33.45),
+    "Fort Bend": (-96.10, 29.25, -95.45, 29.80),
+}
+
+#: Adjacent high-fuel terrain per metro: (dlon, dlat, sigma_deg, boost).
+#: These model the real wildland fronts — the San Gabriel mountains over
+#: Los Angeles, the Wasatch front over Salt Lake City, the Everglades
+#: edge west of Miami — that put WHP very-high cells right against the
+#: urban fringe (§3.7: risk "increases with distance from the metro
+#: center" toward these features).
+WILDLAND_FRONTS: dict[str, tuple[float, float, float, float]] = {
+    "Los Angeles": (0.15, 0.35, 0.25, 0.80),
+    "San Diego": (0.35, 0.15, 0.20, 0.80),
+    "Anaheim": (0.30, 0.10, 0.15, 0.55),
+    "Oakland": (0.15, 0.05, 0.12, 0.22),
+    "San Jose": (0.15, -0.10, 0.15, 0.25),
+    "Sacramento": (0.40, 0.15, 0.25, 0.25),
+    "Salt Lake City": (0.20, 0.00, 0.15, 0.90),
+    "Miami": (-0.30, 0.10, 0.20, 0.50),
+    "Orlando": (-0.25, -0.10, 0.20, 0.30),
+    "Phoenix": (0.35, 0.25, 0.25, 0.22),
+    "Denver": (-0.35, 0.10, 0.20, 0.30),
+    "Colorado Springs": (-0.20, 0.00, 0.15, 0.30),
+    "Las Vegas": (-0.30, 0.10, 0.20, 0.45),
+    "Albuquerque": (0.20, 0.10, 0.12, 0.50),
+    "Reno": (-0.15, 0.05, 0.12, 0.45),
+    "Philadelphia": (0.55, -0.15, 0.30, 0.30),
+}
+
+#: Metros the paper analyzes in §3.6–§3.7 (Figures 11–13).
+PAPER_METROS = (
+    "Los Angeles", "San Diego", "San Francisco", "San Jose", "Sacramento",
+    "Salt Lake City", "Denver", "Phoenix", "Philadelphia", "Orlando",
+    "Miami", "Las Vegas", "New York City",
+)
+
+
+@lru_cache(maxsize=1)
+def conus_cities() -> tuple[City, ...]:
+    """All metro anchors (cached, immutable)."""
+    return tuple(City(*row) for row in _CITY_TABLE)
+
+
+def city_by_name(name: str) -> City:
+    """Look up a city record by exact name."""
+    for city in conus_cities():
+        if city.name == name:
+            return city
+    raise KeyError(f"unknown city: {name!r}")

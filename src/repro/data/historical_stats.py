@@ -1,0 +1,64 @@
+"""Historical US wildfire statistics (NIFC), 2000-2019.
+
+The first two data columns of the paper's Table 1 — annual number of
+fires and acres burned — are *inputs* from the national fire record, not
+measured results.  We embed them verbatim so the fire-season generator
+reproduces each year's aggregate burden exactly; only the
+"transceivers within perimeters" column is then a measured output of the
+overlay analysis.
+
+2019 (used by the §3.4 validation) is the NIFC year-end figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["YearStats", "HISTORICAL_YEARS", "year_stats", "STUDY_YEARS"]
+
+
+@dataclass(frozen=True)
+class YearStats:
+    """One fire season's national aggregates."""
+
+    year: int
+    n_fires: int          # all ignitions, including small contained fires
+    acres_burned: float   # millions of acres
+
+
+_TABLE = [
+    # year, number of fires, acres burned (millions) - paper Table 1
+    (2018, 58_083, 8.767),
+    (2017, 71_499, 10.026),
+    (2016, 67_743, 5.509),
+    (2015, 68_151, 10.125),
+    (2014, 63_312, 3.595),
+    (2013, 47_579, 4.319),
+    (2012, 67_774, 9.326),
+    (2011, 74_126, 8.711),
+    (2010, 71_971, 3.422),
+    (2009, 78_792, 5.921),
+    (2008, 78_979, 5.292),
+    (2007, 85_705, 9.328),
+    (2006, 96_385, 9.873),
+    (2005, 66_753, 8.689),
+    (2004, 65_461, 8.097),
+    (2003, 63_629, 3.960),
+    (2002, 73_457, 7.184),
+    (2001, 84_079, 3.570),
+    (2000, 92_250, 7.393),
+    # validation year (NIFC 2019 year-end report)
+    (2019, 50_477, 4.664),
+]
+
+HISTORICAL_YEARS: dict[int, YearStats] = {
+    y: YearStats(y, n, a) for y, n, a in _TABLE
+}
+
+#: The years of the paper's historical analysis (Table 1, Figures 3-4).
+STUDY_YEARS = tuple(range(2000, 2019))
+
+
+def year_stats(year: int) -> YearStats:
+    """Aggregates for one year (KeyError for years outside 2000-2019)."""
+    return HISTORICAL_YEARS[year]

@@ -1,0 +1,144 @@
+"""Every number the paper reports, for calibration and comparison.
+
+These constants serve two purposes: (1) a few are calibration inputs for
+the synthetic generators (documented at each use site), and (2) the
+benchmark harness prints paper-vs-measured rows for EXPERIMENTS.md
+against them.  Source: Anderson, Barford & Barford, IMC 2020.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TOTAL_TRANSCEIVERS",
+    "TABLE1_TRANSCEIVERS_IN_PERIMETERS",
+    "TOTAL_IN_PERIMETERS_2000_2018",
+    "WHP_AT_RISK_COUNTS",
+    "WHP_AT_RISK_TOTAL",
+    "WHP_AT_RISK_POPULATION",
+    "TOP_MODERATE_STATES",
+    "TOP_VH_PER_CAPITA_STATES",
+    "TABLE2_PROVIDER_RISK",
+    "TABLE3_TECHNOLOGY_RISK",
+    "VALIDATION_2019",
+    "EXTENSION_HALF_MILE",
+    "POP_IMPACT",
+    "CITY_VERY_HIGH_COUNTS",
+    "DIRS_CASE_STUDY",
+    "ECOREGION_DELTAS",
+]
+
+#: OpenCelliD CONUS snapshot size (2019-10-22).
+TOTAL_TRANSCEIVERS = 5_364_949
+
+#: Table 1, "Transceivers within Wildfire Perimeters" per year.
+TABLE1_TRANSCEIVERS_IN_PERIMETERS = {
+    2018: 3_099, 2017: 2_726, 2016: 987, 2015: 565, 2014: 453,
+    2013: 517, 2012: 553, 2011: 1_422, 2010: 181, 2009: 664,
+    2008: 2_068, 2007: 4_978, 2006: 1_025, 2005: 956, 2004: 528,
+    2003: 4_421, 2002: 894, 2001: 466, 2000: 811,
+}
+
+#: "between 2000 and 2018, there were over 27,000 cell transceivers
+#: within wildfire perimeters" (Figure 4).
+TOTAL_IN_PERIMETERS_2000_2018 = 27_000
+
+#: Figure 7: transceivers per WHP class (Moderate, High, Very High).
+WHP_AT_RISK_COUNTS = {"Moderate": 261_569, "High": 142_968,
+                      "Very High": 26_307}
+WHP_AT_RISK_TOTAL = 430_844
+
+#: "aggregate populations of the areas served ... over 85 million".
+WHP_AT_RISK_POPULATION = 85_000_000
+
+#: Figure 8 ordering: states with >5,000 transceivers in Moderate WHP.
+TOP_MODERATE_STATES = ("CA", "FL", "TX", "SC", "GA", "NC", "AZ")
+
+#: Figure 9: most VH transceivers per thousand people.
+TOP_VH_PER_CAPITA_STATES = ("UT", "FL", "CA", "NV", "NM")
+
+#: Table 2: provider -> (count, pct) per WHP class.
+TABLE2_PROVIDER_RISK = {
+    "AT&T": {"Moderate": (101_930, 5.44), "High": (53_805, 2.87),
+             "Very High": (10_991, 0.59)},
+    "T-Mobile": {"Moderate": (69_360, 4.26), "High": (40_365, 2.48),
+                 "Very High": (7_573, 0.47)},
+    "Sprint": {"Moderate": (32_417, 3.90), "High": (16_523, 1.99),
+               "Very High": (2_746, 0.33)},
+    "Verizon": {"Moderate": (42_493, 5.50), "High": (24_228, 3.14),
+                "Very High": (3_757, 0.49)},
+    "Others": {"Moderate": (15_369, 3.90), "High": (8_047, 2.04),
+               "Very High": (1_240, 0.31)},
+}
+
+#: Table 3: radio type -> (VH, H, M, total) at-risk counts.
+TABLE3_TECHNOLOGY_RISK = {
+    "CDMA": (2_178, 13_801, 25_062, 41_041),
+    "GSM": (1_943, 10_096, 17_955, 29_994),
+    "LTE": (12_022, 75_072, 141_324, 228_418),
+    "UMTS": (10_164, 43_999, 77_228, 131_391),
+}
+
+#: §3.4 validation of WHP against the 2019 fire season.
+VALIDATION_2019 = {
+    "in_perimeter_total": 656,
+    "predicted_at_risk": 302,          # 46%
+    "accuracy_pct": 46.0,
+    "missed": 354,
+    "missed_in_la_fires": 288,         # Saddle Ridge + Tick
+    "accuracy_excluding_la_pct": 84.0,
+}
+
+#: §3.8 half-mile very-high extension.
+EXTENSION_HALF_MILE = {
+    "radius_miles": 0.5,
+    "vh_before": 26_307,
+    "vh_after": 176_275,
+    "total_before": 430_844,
+    "total_after": 509_693,
+    "validation_hits_after": 411,
+    "accuracy_after_pct": 62.0,
+    "missed_after": 245,
+    "missed_after_in_la_fires": 203,
+}
+
+#: §3.6 population-impact analysis (Figures 10-11).
+POP_IMPACT = {
+    "at_risk_in_pop_counties": 250_000,   # "nearly 250,000" in >200k
+    "at_risk_in_vh_pop_counties": 57_504,  # in the 23 counties >1.5M
+    "n_vh_pop_counties": 23,
+    "pop_category_share_of_us": 0.65,
+    "vh_pop_la_sd_region": 38_000,
+    "vh_pop_east_coast": 8_000,
+    "vh_pop_texas": 1_400,
+}
+
+#: §3.6: transceivers in WHP Very High within >1.5M counties, per city.
+CITY_VERY_HIGH_COUNTS = {
+    "Los Angeles": 3_547,
+    "Miami": 1_536,
+    "San Diego": 1_082,
+    "San Francisco/San Jose": 935,
+    "Phoenix": 106,
+    "New York City": 81,
+    "Las Vegas": 10,
+}
+
+#: §3.2 / Figure 5: FCC DIRS case-study anchors.
+DIRS_CASE_STUDY = {
+    "peak_sites_out": 874,
+    "peak_doy": 301,                 # 28 October
+    "peak_power_out": 702,           # >80% of the peak
+    "power_share_at_peak": 0.80,
+    "final_sites_out": 110,          # 1 November
+    "final_damaged": 21,
+    "n_counties": 37,
+    "report_days": 8,
+}
+
+#: §3.9 ecoregion projection extremes (Littell et al.).
+ECOREGION_DELTAS = {
+    "max_increase_pct": 240.0,
+    "secondary_increase_pct": 132.0,
+    "slc_west_increase_pct": 43.0,
+    "max_decrease_pct": -119.0,
+}

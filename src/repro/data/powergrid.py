@@ -1,0 +1,224 @@
+"""Synthetic power-distribution grid.
+
+The paper's case study (§3.2) showed that *power loss* — not equipment
+damage — dominates wildfire-related cell outages, and its limitations
+section (§3.11) flags "not fully accounting for risk from loss of
+power" as the main gap: cell sites fail when their upstream feeder or
+substation is de-energized, even when the site itself is far outside
+the fire perimeter.  This substrate models the dependency chain the
+authors describe studying in their follow-on work:
+
+* **substations** placed proportionally to population (each serves a
+  service area),
+* **transmission lines** connecting substations (minimum spanning tree
+  plus nearest-neighbor redundancy, like the highway graph),
+* **feeder assignment**: every cell site depends on its nearest
+  substation,
+* exposure helpers: which lines cross high-WHP cells (Public Safety
+  Power Shutoff candidates), which substations sit inside a fire
+  perimeter.
+
+The model is deliberately radial (no load flow): the question the
+analyses ask is *which sites lose power when a line or substation is
+taken out*, which a dependency graph answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from ..geo.geometry import LineString
+from ..geo.index import UniformGridIndex
+from .cells import CellUniverse
+from .population import PopulationSurface
+from .whp import WhpModel, WHPClass
+
+__all__ = ["PowerGrid", "build_power_grid"]
+
+
+@dataclass
+class PowerGrid:
+    """The synthetic grid: substations, lines, and site dependencies."""
+
+    substation_lons: np.ndarray
+    substation_lats: np.ndarray
+    #: (n_lines, 2) array of substation indices
+    lines: np.ndarray
+    #: substation index per cell site id (dict: site_id -> substation)
+    site_substation: dict[int, int]
+    graph: "nx.Graph" = field(repr=False, default=None)
+
+    @property
+    def n_substations(self) -> int:
+        return len(self.substation_lons)
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.lines)
+
+    def line_segments(self) -> list[LineString]:
+        """Transmission lines as LineStrings."""
+        out = []
+        for a, b in self.lines:
+            out.append(LineString([
+                (self.substation_lons[a], self.substation_lats[a]),
+                (self.substation_lons[b], self.substation_lats[b])]))
+        return out
+
+    def sites_of_substation(self, substation: int) -> list[int]:
+        """Site ids fed by a substation."""
+        return [site for site, sub in self.site_substation.items()
+                if sub == substation]
+
+    def substations_in_polygon(self, polygon) -> np.ndarray:
+        """Indices of substations inside a polygon."""
+        inside = polygon.contains_many(self.substation_lons,
+                                       self.substation_lats)
+        return np.nonzero(inside)[0]
+
+    def lines_crossing_mask(self, whp: WhpModel, mask: np.ndarray,
+                            step_deg: float = 0.05) -> np.ndarray:
+        """Indices of lines that cross True cells of a WHP-grid mask.
+
+        Lines are sampled every ``step_deg`` along their length; a line
+        crosses the mask when any sample lands in a True cell.  This is
+        the PSPS-candidate test: utilities de-energize lines that
+        traverse high-hazard terrain.
+        """
+        grid = whp.grid
+        hits = []
+        for i, (a, b) in enumerate(self.lines):
+            x1, y1 = self.substation_lons[a], self.substation_lats[a]
+            x2, y2 = self.substation_lons[b], self.substation_lats[b]
+            length = float(np.hypot(x2 - x1, y2 - y1))
+            n = max(2, int(length / step_deg))
+            ts = np.linspace(0.0, 1.0, n)
+            lons = x1 + ts * (x2 - x1)
+            lats = y1 + ts * (y2 - y1)
+            rows, cols = grid.rowcol(lons, lats)
+            ok = grid.inside(rows, cols)
+            if ok.any() and mask[rows[ok], cols[ok]].any():
+                hits.append(i)
+        return np.asarray(hits, dtype=np.int64)
+
+    def feeder_cut_sites(self, cells: CellUniverse, whp: WhpModel,
+                         mask: np.ndarray,
+                         step_deg: float = 0.04) -> set[int]:
+        """Site ids whose distribution feeder crosses True mask cells.
+
+        The feeder is modeled as the straight run from the site to its
+        substation; fires or shutoffs anywhere along it cut the site's
+        power — the §3.2 mechanism by which sites far outside a
+        perimeter go dark.
+        """
+        grid = whp.grid
+        site_ids, first = np.unique(cells.site_ids, return_index=True)
+        site_lons = cells.lons[first]
+        site_lats = cells.lats[first]
+        out: set[int] = set()
+        for sid, lon, lat in zip(site_ids.tolist(), site_lons,
+                                 site_lats):
+            sub = self.site_substation.get(int(sid))
+            if sub is None:
+                continue
+            x2 = self.substation_lons[sub]
+            y2 = self.substation_lats[sub]
+            length = float(np.hypot(x2 - lon, y2 - lat))
+            n = max(2, int(length / step_deg))
+            ts = np.linspace(0.0, 1.0, n)
+            lons = lon + ts * (x2 - lon)
+            lats = lat + ts * (y2 - lat)
+            rows, cols = grid.rowcol(lons, lats)
+            ok = grid.inside(rows, cols)
+            if ok.any() and mask[rows[ok], cols[ok]].any():
+                out.add(int(sid))
+        return out
+
+    def dead_sites(self, dead_substations: set[int],
+                   cut_lines: set[int]) -> set[int]:
+        """Site ids without power given failed substations/cut lines.
+
+        A site is dead when its substation is dead, or its substation is
+        disconnected from every live generation-bearing component.  We
+        treat the largest connected component of the surviving line
+        graph as energized (bulk grid), matching how islanding plays out
+        in a radial simplification.
+        """
+        g = self.graph.copy()
+        g.remove_nodes_from(dead_substations)
+        g.remove_edges_from(
+            tuple(self.lines[i]) for i in cut_lines
+            if self.lines[i][0] in g and self.lines[i][1] in g)
+        if len(g) == 0:
+            energized: set[int] = set()
+        else:
+            components = list(nx.connected_components(g))
+            energized = max(components, key=len)
+        dead = set()
+        for site, sub in self.site_substation.items():
+            if sub in dead_substations or sub not in energized:
+                dead.add(site)
+        return dead
+
+
+def build_power_grid(pop: PopulationSurface, cells: CellUniverse,
+                     n_substations: int = 400, seed: int = 77,
+                     k_neighbors: int = 2) -> PowerGrid:
+    """Build the synthetic grid.
+
+    Substations are drawn from the population surface (power capacity
+    follows load); the line network is an MST over substations plus
+    ``k_neighbors`` nearest-neighbor ties; every cell site attaches to
+    its nearest substation.
+    """
+    if n_substations < 2:
+        raise ValueError("need at least two substations")
+    rng = np.random.default_rng(seed)
+    sub_lons, sub_lats = pop.sample_points(n_substations, rng,
+                                           exponent=0.7)
+
+    # MST + k nearest neighbors over substations.
+    full = nx.Graph()
+    coords = np.column_stack([sub_lons, sub_lats])
+    for i in range(n_substations):
+        d = np.hypot(coords[:, 0] - coords[i, 0],
+                     coords[:, 1] - coords[i, 1])
+        order = np.argsort(d)
+        for j in order[1:k_neighbors + 1]:
+            full.add_edge(i, int(j), weight=float(d[j]))
+    # ensure connectivity with a complete-graph MST
+    complete = nx.Graph()
+    for i in range(n_substations):
+        d = np.hypot(coords[:, 0] - coords[i, 0],
+                     coords[:, 1] - coords[i, 1])
+        for j in range(i + 1, n_substations):
+            complete.add_edge(i, j, weight=float(d[j]))
+    mst = nx.minimum_spanning_tree(complete, weight="weight")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_substations))
+    graph.add_edges_from(mst.edges())
+    graph.add_edges_from(full.edges())
+
+    lines = np.asarray(sorted(tuple(sorted(e)) for e in graph.edges()),
+                       dtype=np.int64)
+
+    # Site -> nearest substation (one representative location per site).
+    site_ids, first = np.unique(cells.site_ids, return_index=True)
+    site_lons = cells.lons[first]
+    site_lats = cells.lats[first]
+    assignment: dict[int, int] = {}
+    chunk = 4096
+    for start in range(0, len(site_ids), chunk):
+        sl = site_lons[start:start + chunk][:, None]
+        sa = site_lats[start:start + chunk][:, None]
+        d2 = (sl - sub_lons[None, :]) ** 2 + (sa - sub_lats[None, :]) ** 2
+        nearest = np.argmin(d2, axis=1)
+        for sid, sub in zip(site_ids[start:start + chunk], nearest):
+            assignment[int(sid)] = int(sub)
+
+    return PowerGrid(substation_lons=sub_lons, substation_lats=sub_lats,
+                     lines=lines, site_substation=assignment,
+                     graph=graph)

@@ -1,0 +1,113 @@
+"""Synthetic interstate-highway network.
+
+Cell infrastructure follows roads (§3.7: "the network extends limited
+assets into more rural areas and along transportation pathways"), and the
+WHP-validation anomaly of §3.4 hinges on transceivers sitting in road
+corridors that WHP classifies as low-risk.  We build a highway graph over
+the metro anchors: a Euclidean minimum spanning tree (guaranteeing
+connectivity, like the national backbone) plus each city's k nearest
+neighbors (adding the redundant links real interstates have).
+
+Edges are straight great-circle corridors — adequate at the fidelity of
+the synthetic US.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import networkx as nx
+import numpy as np
+
+from ..geo.geometry import LineString
+from ..geo.projection import haversine_m
+from .cities import City, conus_cities
+
+__all__ = ["road_graph", "road_segments", "distance_to_roads_deg"]
+
+
+@lru_cache(maxsize=1)
+def road_graph(k_neighbors: int = 3) -> "nx.Graph":
+    """Highway graph over metro anchors.
+
+    Nodes are city names with ``lon``/``lat``/``city`` attributes; edges
+    carry great-circle ``length_m``.
+    """
+    cities = conus_cities()
+    g = nx.Graph()
+    for c in cities:
+        g.add_node(c.name, lon=c.lon, lat=c.lat, city=c)
+
+    lons = np.array([c.lon for c in cities])
+    lats = np.array([c.lat for c in cities])
+
+    # Complete graph distances (70 cities -> trivial).
+    full = nx.Graph()
+    for i, a in enumerate(cities):
+        d = haversine_m(lons[i], lats[i], lons, lats)
+        for j in range(i + 1, len(cities)):
+            full.add_edge(a.name, cities[j].name, length_m=float(d[j]))
+
+    mst = nx.minimum_spanning_tree(full, weight="length_m")
+    g.add_edges_from(mst.edges(data=True))
+
+    # k nearest neighbors per city for redundancy.
+    for i, a in enumerate(cities):
+        d = haversine_m(lons[i], lats[i], lons, lats)
+        order = np.argsort(d)
+        added = 0
+        for j in order:
+            if j == i:
+                continue
+            b = cities[int(j)]
+            if not g.has_edge(a.name, b.name):
+                g.add_edge(a.name, b.name, length_m=float(d[j]))
+            added += 1
+            if added >= k_neighbors:
+                break
+    return g
+
+
+@lru_cache(maxsize=1)
+def road_segments() -> tuple[LineString, ...]:
+    """All highway edges as 2-vertex LineStrings (lon/lat)."""
+    g = road_graph()
+    segs = []
+    for u, v in g.edges():
+        segs.append(LineString([
+            (g.nodes[u]["lon"], g.nodes[u]["lat"]),
+            (g.nodes[v]["lon"], g.nodes[v]["lat"]),
+        ]))
+    return tuple(segs)
+
+
+def distance_to_roads_deg(lons, lats) -> np.ndarray:
+    """Min distance (degrees) from points to any highway segment.
+
+    Used by the population/transceiver samplers to create road corridors.
+    Vectorized over points; loops over the ~200 segments.
+    """
+    lons = np.asarray(lons, dtype=float)
+    lats = np.asarray(lats, dtype=float)
+    best = np.full(lons.shape, np.inf)
+    for seg in road_segments():
+        (x1, y1), (x2, y2) = seg.coords
+        # Prune: skip segments whose bbox is far from all points; cheap
+        # check against the aggregate point bbox.
+        if (max(x1, x2) < lons.min() - 3 or min(x1, x2) > lons.max() + 3
+                or max(y1, y2) < lats.min() - 3
+                or min(y1, y2) > lats.max() + 3):
+            continue
+        d = _point_segment_distance_vec(lons, lats, x1, y1, x2, y2)
+        np.minimum(best, d, out=best)
+    return best
+
+
+def _point_segment_distance_vec(px, py, x1, y1, x2, y2) -> np.ndarray:
+    dx = x2 - x1
+    dy = y2 - y1
+    seg_len2 = dx * dx + dy * dy
+    if seg_len2 == 0.0:
+        return np.hypot(px - x1, py - y1)
+    t = np.clip(((px - x1) * dx + (py - y1) * dy) / seg_len2, 0.0, 1.0)
+    return np.hypot(px - (x1 + t * dx), py - (y1 + t * dy))

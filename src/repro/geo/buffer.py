@@ -1,0 +1,103 @@
+"""Polygon buffering.
+
+The paper's §3.8 experiment extends very-high WHP *regions* by half a
+mile.  Since WHP is a raster product, the faithful implementation is
+raster-space morphological dilation (:meth:`repro.geo.raster.Raster.
+dilate_mask`).  This module additionally provides a vector buffer for
+simple polygons — used to grow fire perimeters and metro windows — built
+by offsetting each edge outward and inserting round joins.
+
+The vector buffer is approximate: for strongly concave inputs the offset
+boundary can self-intersect.  That is acceptable for the star-convex
+perimeters this package generates, and it is documented behaviour (a full
+polygon-offsetting/union engine is out of scope).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .geometry import Polygon
+from .projection import meters_per_degree
+
+__all__ = ["buffer_polygon", "buffer_point"]
+
+
+def buffer_point(lon: float, lat: float, radius_m: float,
+                 n_vertices: int = 32) -> Polygon:
+    """A circular (in metric space) polygon of ``radius_m`` around a point."""
+    if radius_m <= 0:
+        raise ValueError("radius must be positive")
+    mx, my = meters_per_degree(lat)
+    theta = np.linspace(0.0, 2.0 * math.pi, n_vertices, endpoint=False)
+    lons = lon + (radius_m / mx) * np.cos(theta)
+    lats = lat + (radius_m / my) * np.sin(theta)
+    return Polygon(np.column_stack([lons, lats]))
+
+
+def buffer_polygon(polygon: Polygon, radius_m: float,
+                   arc_step_deg: float = 30.0) -> Polygon:
+    """Grow a polygon outward by ``radius_m`` (positive buffers only).
+
+    Each exterior edge is offset along its outward normal; convex corners
+    get round joins sampled every ``arc_step_deg``.  Holes are dropped
+    (a buffered at-risk region should swallow interior voids smaller than
+    the buffer anyway, and the synthetic perimeters have none).
+    """
+    if radius_m <= 0:
+        raise ValueError("only positive buffers are supported")
+    ring = polygon.exterior  # CCW by Polygon normalization
+    c = polygon.centroid()
+    mx, my = meters_per_degree(c.lat)
+
+    # Work in local metric coordinates to keep the buffer isotropic.
+    xs = (ring[:, 0] - c.lon) * mx
+    ys = (ring[:, 1] - c.lat) * my
+    n = len(xs)
+    out_x: list[float] = []
+    out_y: list[float] = []
+    arc_step = math.radians(arc_step_deg)
+
+    for i in range(n):
+        x0, y0 = xs[i - 1], ys[i - 1]
+        x1, y1 = xs[i], ys[i]
+        x2, y2 = xs[(i + 1) % n], ys[(i + 1) % n]
+        # Outward normals (ring is CCW, so outward = right of direction).
+        n1 = _unit_normal(x0, y0, x1, y1)
+        n2 = _unit_normal(x1, y1, x2, y2)
+        if n1 is None or n2 is None:
+            continue
+        a1 = math.atan2(n1[1], n1[0])
+        a2 = math.atan2(n2[1], n2[0])
+        sweep = (a2 - a1) % (2.0 * math.pi)
+        if sweep > math.pi:
+            # Concave corner: single miter-free join at the bisector.
+            bis = ((n1[0] + n2[0]) / 2.0, (n1[1] + n2[1]) / 2.0)
+            norm = math.hypot(*bis)
+            if norm > 1e-12:
+                out_x.append(x1 + radius_m * bis[0] / norm)
+                out_y.append(y1 + radius_m * bis[1] / norm)
+            continue
+        steps = max(1, int(math.ceil(sweep / arc_step)))
+        for k in range(steps + 1):
+            a = a1 + sweep * k / steps
+            out_x.append(x1 + radius_m * math.cos(a))
+            out_y.append(y1 + radius_m * math.sin(a))
+
+    if len(out_x) < 3:
+        raise ValueError("degenerate polygon cannot be buffered")
+    lons = np.asarray(out_x) / mx + c.lon
+    lats = np.asarray(out_y) / my + c.lat
+    return Polygon(np.column_stack([lons, lats]))
+
+
+def _unit_normal(x0: float, y0: float, x1: float, y1: float):
+    """Outward unit normal of edge (x0,y0)->(x1,y1) of a CCW ring."""
+    dx = x1 - x0
+    dy = y1 - y0
+    norm = math.hypot(dx, dy)
+    if norm < 1e-12:
+        return None
+    return (dy / norm, -dx / norm)

@@ -1,0 +1,102 @@
+"""GeoJSON interchange.
+
+Real GeoMAC perimeters and Census TIGER data ship as GeoJSON/shapefiles;
+this module lets users drop real GeoJSON into the pipelines and lets the
+synthetic generators export their output for inspection in standard GIS
+tools.  Only the geometry types this package models are supported.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .geometry import LineString, MultiPolygon, Point, Polygon
+
+__all__ = [
+    "geometry_to_geojson",
+    "geometry_from_geojson",
+    "feature",
+    "feature_collection",
+    "dump_features",
+    "load_features",
+]
+
+Geometry = Point | LineString | Polygon | MultiPolygon
+
+
+def _ring_coords(ring: np.ndarray) -> list[list[float]]:
+    coords = ring.tolist()
+    coords.append(coords[0])  # GeoJSON rings are explicitly closed
+    return coords
+
+
+def geometry_to_geojson(geom: Geometry) -> dict[str, Any]:
+    """Encode a geometry object as a GeoJSON geometry dict."""
+    if isinstance(geom, Point):
+        return {"type": "Point", "coordinates": [geom.lon, geom.lat]}
+    if isinstance(geom, LineString):
+        return {"type": "LineString", "coordinates": geom.coords.tolist()}
+    if isinstance(geom, Polygon):
+        rings = [_ring_coords(geom.exterior)]
+        rings.extend(_ring_coords(h) for h in geom.holes)
+        return {"type": "Polygon", "coordinates": rings}
+    if isinstance(geom, MultiPolygon):
+        polys = []
+        for p in geom.polygons:
+            rings = [_ring_coords(p.exterior)]
+            rings.extend(_ring_coords(h) for h in p.holes)
+            polys.append(rings)
+        return {"type": "MultiPolygon", "coordinates": polys}
+    raise TypeError(f"unsupported geometry type: {type(geom).__name__}")
+
+
+def geometry_from_geojson(obj: dict[str, Any]) -> Geometry:
+    """Decode a GeoJSON geometry dict into a geometry object."""
+    gtype = obj.get("type")
+    coords = obj.get("coordinates")
+    if gtype == "Point":
+        return Point(float(coords[0]), float(coords[1]))
+    if gtype == "LineString":
+        return LineString(coords)
+    if gtype == "Polygon":
+        return Polygon(coords[0], holes=coords[1:])
+    if gtype == "MultiPolygon":
+        return MultiPolygon(
+            Polygon(rings[0], holes=rings[1:]) for rings in coords)
+    raise ValueError(f"unsupported GeoJSON geometry type: {gtype!r}")
+
+
+def feature(geom: Geometry, properties: dict | None = None) -> dict:
+    """Wrap a geometry as a GeoJSON Feature."""
+    return {
+        "type": "Feature",
+        "geometry": geometry_to_geojson(geom),
+        "properties": dict(properties or {}),
+    }
+
+
+def feature_collection(features: list[dict]) -> dict:
+    """Wrap features as a GeoJSON FeatureCollection."""
+    return {"type": "FeatureCollection", "features": list(features)}
+
+
+def dump_features(features: list[dict], path: str | Path) -> None:
+    """Write a FeatureCollection to a ``.geojson`` file."""
+    Path(path).write_text(
+        json.dumps(feature_collection(features)), encoding="utf-8")
+
+
+def load_features(path: str | Path) -> list[tuple[Geometry, dict]]:
+    """Read a FeatureCollection file into (geometry, properties) pairs."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("type") != "FeatureCollection":
+        raise ValueError("expected a GeoJSON FeatureCollection")
+    out = []
+    for feat in doc.get("features", []):
+        out.append((geometry_from_geojson(feat["geometry"]),
+                    feat.get("properties", {})))
+    return out

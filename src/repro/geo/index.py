@@ -1,0 +1,178 @@
+"""Spatial indexes.
+
+Two classic structures back the spatial-join engine:
+
+* :class:`UniformGridIndex` — buckets millions of points into a uniform
+  lon/lat grid so a polygon query touches only candidate buckets.  This is
+  the workhorse for "which transceivers fall inside this fire perimeter".
+* :class:`STRTree` — a packed (Sort-Tile-Recursive) R-tree over geometry
+  bounding boxes, used when the query side is also geometric (e.g. which
+  counties intersect a metro window).
+
+Both are static (bulk-loaded) indexes, matching the batch nature of the
+paper's analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .geometry import BBox, MultiPolygon, Polygon
+
+__all__ = ["UniformGridIndex", "STRTree"]
+
+
+class UniformGridIndex:
+    """A bulk-loaded uniform grid over 2-D points.
+
+    Points are sorted by bucket id once at build time; a query gathers the
+    contiguous slices of every candidate bucket.  Query results are indices
+    into the original point arrays.
+    """
+
+    def __init__(self, lons, lats, cell_deg: float = 0.25):
+        self.lons = np.ascontiguousarray(lons, dtype=float)
+        self.lats = np.ascontiguousarray(lats, dtype=float)
+        if self.lons.shape != self.lats.shape or self.lons.ndim != 1:
+            raise ValueError("lons/lats must be equal-length 1-D arrays")
+        if cell_deg <= 0:
+            raise ValueError("cell size must be positive")
+        self.cell_deg = float(cell_deg)
+        n = len(self.lons)
+        if n == 0:
+            self._order = np.empty(0, dtype=np.int64)
+            self._starts = {}
+            self.bbox = None
+            return
+        self.bbox = BBox.of_coords(self.lons, self.lats)
+        self._ncols = max(1, int(np.ceil(self.bbox.width / cell_deg)) + 1)
+        cols = ((self.lons - self.bbox.min_lon) // cell_deg).astype(np.int64)
+        rows = ((self.lats - self.bbox.min_lat) // cell_deg).astype(np.int64)
+        keys = rows * self._ncols + cols
+        self._order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[self._order]
+        uniq, starts = np.unique(sorted_keys, return_index=True)
+        ends = np.append(starts[1:], n)
+        self._starts = {int(k): (int(s), int(e))
+                        for k, s, e in zip(uniq, starts, ends)}
+
+    def __len__(self) -> int:
+        return len(self.lons)
+
+    def _bucket_range(self, bbox: BBox):
+        c0 = int((bbox.min_lon - self.bbox.min_lon) // self.cell_deg)
+        c1 = int((bbox.max_lon - self.bbox.min_lon) // self.cell_deg)
+        r0 = int((bbox.min_lat - self.bbox.min_lat) // self.cell_deg)
+        r1 = int((bbox.max_lat - self.bbox.min_lat) // self.cell_deg)
+        return max(c0, 0), c1, max(r0, 0), r1
+
+    def query_bbox(self, bbox: BBox) -> np.ndarray:
+        """Indices of points inside ``bbox``."""
+        if self.bbox is None or not self.bbox.intersects(bbox):
+            return np.empty(0, dtype=np.int64)
+        c0, c1, r0, r1 = self._bucket_range(bbox)
+        chunks = []
+        for row in range(r0, r1 + 1):
+            base = row * self._ncols
+            for col in range(c0, c1 + 1):
+                rng = self._starts.get(base + col)
+                if rng is not None:
+                    chunks.append(self._order[rng[0]:rng[1]])
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        cand = np.concatenate(chunks)
+        keep = bbox.contains_many(self.lons[cand], self.lats[cand])
+        return cand[keep]
+
+    def query_polygon(self, polygon: Polygon | MultiPolygon) -> np.ndarray:
+        """Indices of points inside the polygon (exact, holes respected)."""
+        cand = self.query_bbox(polygon.bbox)
+        if len(cand) == 0:
+            return cand
+        keep = polygon.contains_many(self.lons[cand], self.lats[cand])
+        return cand[keep]
+
+    def query_radius(self, lon: float, lat: float, radius_deg: float) \
+            -> np.ndarray:
+        """Indices of points within ``radius_deg`` (planar degrees)."""
+        bbox = BBox(lon - radius_deg, lat - radius_deg,
+                    lon + radius_deg, lat + radius_deg)
+        cand = self.query_bbox(bbox)
+        if len(cand) == 0:
+            return cand
+        d = np.hypot(self.lons[cand] - lon, self.lats[cand] - lat)
+        return cand[d <= radius_deg]
+
+
+class _Node:
+    __slots__ = ("bbox", "children", "items")
+
+    def __init__(self, bbox: BBox, children=None, items=None):
+        self.bbox = bbox
+        self.children = children
+        self.items = items
+
+
+class STRTree:
+    """Sort-Tile-Recursive packed R-tree over bounding boxes.
+
+    Bulk-loaded from a sequence of (bbox, payload) pairs.  Queries return
+    payloads whose bbox intersects the query bbox; exact geometric tests
+    are the caller's job.
+    """
+
+    def __init__(self, items: Sequence[tuple[BBox, object]],
+                 node_capacity: int = 8):
+        if node_capacity < 2:
+            raise ValueError("node capacity must be >= 2")
+        self.node_capacity = node_capacity
+        entries = [_Node(bbox, items=payload) for bbox, payload in items]
+        self._root = self._build(entries) if entries else None
+
+    def _build(self, nodes: list[_Node]) -> _Node:
+        if len(nodes) == 1:
+            return nodes[0]
+        while len(nodes) > 1:
+            nodes = self._pack_level(nodes)
+        return nodes[0]
+
+    def _pack_level(self, nodes: list[_Node]) -> list[_Node]:
+        cap = self.node_capacity
+        n = len(nodes)
+        nodes = sorted(nodes, key=lambda nd: nd.bbox.center.lon)
+        n_leaves = int(np.ceil(n / cap))
+        n_slices = max(1, int(np.ceil(np.sqrt(n_leaves))))
+        slice_size = int(np.ceil(n / n_slices))
+        parents: list[_Node] = []
+        for s in range(0, n, slice_size):
+            chunk = sorted(nodes[s:s + slice_size],
+                           key=lambda nd: nd.bbox.center.lat)
+            for i in range(0, len(chunk), cap):
+                group = chunk[i:i + cap]
+                bbox = group[0].bbox
+                for g in group[1:]:
+                    bbox = bbox.union(g.bbox)
+                parents.append(_Node(bbox, children=group))
+        return parents
+
+    def query(self, bbox: BBox) -> list:
+        """Payloads whose bbox intersects ``bbox``."""
+        if self._root is None:
+            return []
+        out: list = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.bbox.intersects(bbox):
+                continue
+            if node.children is None:
+                out.append(node.items)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_point(self, lon: float, lat: float) -> list:
+        """Payloads whose bbox contains the point."""
+        return self.query(BBox(lon, lat, lon, lat))

@@ -1,0 +1,192 @@
+"""Low-level geometric predicates.
+
+These are the inner loops of the spatial-join engine: point-in-ring tests
+(both a scalar version and a numpy-vectorized version used for millions of
+transceivers at once), segment intersection, and point-to-segment distance.
+
+All functions operate on plain coordinates; the coordinate system is
+whichever the caller uses consistently (lon/lat degrees everywhere in this
+package — point-in-polygon is affine-invariant so degrees are fine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "point_in_ring",
+    "points_in_ring",
+    "on_segment",
+    "segments_intersect",
+    "point_segment_distance",
+    "ring_area_signed",
+    "is_ccw",
+    "ring_self_intersects",
+]
+
+
+def _ring_arrays(ring) -> tuple[np.ndarray, np.ndarray]:
+    """Return (xs, ys) for a ring given as an (N, 2) array-like.
+
+    A trailing vertex equal to the first is tolerated but not required.
+    """
+    arr = np.asarray(ring, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("ring must be an (N, 2) array of coordinates")
+    if len(arr) >= 2 and np.allclose(arr[0], arr[-1]):
+        arr = arr[:-1]
+    if len(arr) < 3:
+        raise ValueError("ring needs at least 3 distinct vertices")
+    return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+
+
+def point_in_ring(x: float, y: float, ring) -> bool:
+    """Crossing-number point-in-ring test for a single point.
+
+    Points exactly on an edge are treated as inside (a transceiver on a
+    fire-perimeter boundary counts as at risk).
+    """
+    xs, ys = _ring_arrays(ring)
+    n = len(xs)
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi, xj, yj = xs[i], ys[i], xs[j], ys[j]
+        if on_segment(x, y, xi, yi, xj, yj):
+            return True
+        if (yi > y) != (yj > y):
+            x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def points_in_ring(xs, ys, ring) -> np.ndarray:
+    """Vectorized crossing-number test.
+
+    Parameters
+    ----------
+    xs, ys:
+        1-D arrays of point coordinates.
+    ring:
+        (N, 2) array-like of ring vertices.
+
+    Returns
+    -------
+    Boolean array, True where the point is strictly inside or (to floating
+    point tolerance of the crossing rule) on the boundary.
+    """
+    px = np.asarray(xs, dtype=float)
+    py = np.asarray(ys, dtype=float)
+    rx, ry = _ring_arrays(ring)
+    rx_next = np.roll(rx, -1)
+    ry_next = np.roll(ry, -1)
+
+    inside = np.zeros(px.shape, dtype=bool)
+    # Loop over edges (rings are small), vectorize over points (millions).
+    for x1, y1, x2, y2 in zip(rx, ry, rx_next, ry_next):
+        cond = (y1 > py) != (y2 > py)
+        if not cond.any():
+            continue
+        x_cross = (x2 - x1) * (py - y1) / (y2 - y1) + x1
+        inside ^= cond & (px < x_cross)
+    return inside
+
+
+def on_segment(px: float, py: float, x1: float, y1: float,
+               x2: float, y2: float, tol: float = 1e-12) -> bool:
+    """True if point (px, py) lies on segment (x1,y1)-(x2,y2)."""
+    cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+    scale = max(abs(x2 - x1), abs(y2 - y1), 1.0)
+    if abs(cross) > tol * scale * scale:
+        return False
+    if min(x1, x2) - tol <= px <= max(x1, x2) + tol and \
+       min(y1, y2) - tol <= py <= max(y1, y2) + tol:
+        return True
+    return False
+
+
+def _orient(ax, ay, bx, by, cx, cy) -> float:
+    """Signed area of triangle abc (positive = counter-clockwise)."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def segments_intersect(a1, a2, b1, b2) -> bool:
+    """True if closed segments a1-a2 and b1-b2 intersect (incl. touching)."""
+    ax1, ay1 = a1
+    ax2, ay2 = a2
+    bx1, by1 = b1
+    bx2, by2 = b2
+    d1 = _orient(bx1, by1, bx2, by2, ax1, ay1)
+    d2 = _orient(bx1, by1, bx2, by2, ax2, ay2)
+    d3 = _orient(ax1, ay1, ax2, ay2, bx1, by1)
+    d4 = _orient(ax1, ay1, ax2, ay2, bx2, by2)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)):
+        return True
+    if d1 == 0 and on_segment(ax1, ay1, bx1, by1, bx2, by2):
+        return True
+    if d2 == 0 and on_segment(ax2, ay2, bx1, by1, bx2, by2):
+        return True
+    if d3 == 0 and on_segment(bx1, by1, ax1, ay1, ax2, ay2):
+        return True
+    if d4 == 0 and on_segment(bx2, by2, ax1, ay1, ax2, ay2):
+        return True
+    return False
+
+
+def point_segment_distance(px, py, x1, y1, x2, y2):
+    """Distance from point(s) to a segment, in coordinate units.
+
+    Accepts scalar or array ``px, py``.
+    """
+    px = np.asarray(px, dtype=float)
+    py = np.asarray(py, dtype=float)
+    dx = x2 - x1
+    dy = y2 - y1
+    seg_len2 = dx * dx + dy * dy
+    if seg_len2 == 0.0:
+        d = np.hypot(px - x1, py - y1)
+    else:
+        t = np.clip(((px - x1) * dx + (py - y1) * dy) / seg_len2, 0.0, 1.0)
+        d = np.hypot(px - (x1 + t * dx), py - (y1 + t * dy))
+    if d.ndim == 0:
+        return float(d)
+    return d
+
+
+def ring_area_signed(ring) -> float:
+    """Shoelace signed area of a ring in its own coordinate units squared.
+
+    Positive for counter-clockwise rings.
+    """
+    xs, ys = _ring_arrays(ring)
+    x_next = np.roll(xs, -1)
+    y_next = np.roll(ys, -1)
+    return float(np.sum(xs * y_next - x_next * ys) / 2.0)
+
+
+def is_ccw(ring) -> bool:
+    """True if the ring winds counter-clockwise."""
+    return ring_area_signed(ring) > 0.0
+
+
+def ring_self_intersects(ring) -> bool:
+    """True if any two non-adjacent edges of the ring intersect.
+
+    O(n^2) over edges — fine for the hand-authored rings (states,
+    ecoregions) and generated perimeters this package validates.
+    Adjacent edges sharing a vertex are skipped.
+    """
+    xs, ys = _ring_arrays(ring)
+    n = len(xs)
+    edges = [((xs[i], ys[i]), (xs[(i + 1) % n], ys[(i + 1) % n]))
+             for i in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if j == i + 1 or (i == 0 and j == n - 1):
+                continue  # adjacent edges share a vertex
+            if segments_intersect(edges[i][0], edges[i][1],
+                                  edges[j][0], edges[j][1]):
+                return True
+    return False

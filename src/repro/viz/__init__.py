@@ -1,0 +1,38 @@
+"""ASCII visualization: terminal-renderable versions of every figure."""
+
+from .ascii import DENSITY_RAMP, bar_chart, class_map, density_map
+from .image import (
+    WHP_PALETTE,
+    class_image,
+    density_image,
+    save_class_image,
+    save_density_image,
+    write_ppm,
+)
+from .figures import (
+    FigureArtifact,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+
+__all__ = [
+    "bar_chart", "class_map", "density_map", "DENSITY_RAMP",
+    "write_ppm", "class_image", "density_image", "save_class_image",
+    "save_density_image", "WHP_PALETTE",
+    "FigureArtifact",
+    "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
+    "figure8", "figure9", "figure10", "figure11", "figure12", "figure13",
+    "figure14", "figure15",
+]

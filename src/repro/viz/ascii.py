@@ -1,0 +1,95 @@
+"""Terminal-renderable maps and charts.
+
+The paper's figures are maps and bar charts; in an offline, matplotlib-
+free environment we render them as ASCII: density maps from point sets,
+class maps from rasters, and horizontal bar charts from ranked series.
+The benchmarks print these so every figure has a visual artifact, not
+just numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..geo.geometry import BBox
+from ..geo.raster import GridSpec
+
+__all__ = ["density_map", "class_map", "bar_chart", "DENSITY_RAMP"]
+
+#: Character ramp from empty to dense.
+DENSITY_RAMP = " .:-=+*#%@"
+
+
+def density_map(lons, lats, bbox: BBox, width: int = 100,
+                height: int | None = None,
+                ramp: str = DENSITY_RAMP) -> str:
+    """Render a point cloud as an ASCII density map.
+
+    Each character cell shows the log-scaled point count; the aspect
+    ratio accounts for the ~2:1 width of terminal characters.
+    """
+    lons = np.asarray(lons, dtype=float)
+    lats = np.asarray(lats, dtype=float)
+    if height is None:
+        height = max(1, int(width * bbox.height / bbox.width / 2.2))
+    counts = np.zeros((height, width))
+    inside = bbox.contains_many(lons, lats)
+    if inside.any():
+        cols = ((lons[inside] - bbox.min_lon) / bbox.width
+                * (width - 1)).astype(int)
+        rows = ((bbox.max_lat - lats[inside]) / bbox.height
+                * (height - 1)).astype(int)
+        np.add.at(counts, (rows, cols), 1)
+    if counts.max() > 0:
+        levels = np.log1p(counts) / np.log1p(counts.max())
+    else:
+        levels = counts
+    idx = (levels * (len(ramp) - 1)).astype(int)
+    return "\n".join("".join(ramp[i] for i in row) for row in idx)
+
+
+def class_map(data: np.ndarray, grid: GridSpec,
+              symbols: dict[int, str], bbox: BBox | None = None,
+              width: int = 100) -> str:
+    """Render an integer raster as an ASCII class map.
+
+    ``symbols`` maps raster values to single characters; unmapped values
+    render as spaces.  The raster is nearest-neighbor resampled into the
+    requested character frame.
+    """
+    if bbox is None:
+        bbox = grid.bbox
+    height = max(1, int(width * bbox.height / bbox.width / 2.2))
+    out_rows = []
+    for r in range(height):
+        lat = bbox.max_lat - (r + 0.5) * bbox.height / height
+        lons = bbox.min_lon + (np.arange(width) + 0.5) * bbox.width / width
+        rows, cols = grid.rowcol(lons, np.full(width, lat))
+        ok = grid.inside(rows, cols)
+        line = []
+        for k in range(width):
+            if not ok[k]:
+                line.append(" ")
+                continue
+            value = int(data[rows[k], cols[k]])
+            line.append(symbols.get(value, " "))
+        out_rows.append("".join(line))
+    return "\n".join(out_rows)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, unit: str = "") -> str:
+    """Horizontal ASCII bar chart (Figure 8/9/12 style)."""
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    vmax = max(values) if values else 0.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(round(width * value / vmax)) if vmax > 0 else 0
+        lines.append(f"{label.rjust(label_w)} | {'█' * n} "
+                     f"{value:,.0f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Binary image export (PPM) for rasters and point maps.
+
+The environment has no plotting stack, but the paper's figures are
+maps; this module writes real raster images using the stdlib-only
+binary PPM (P6) format, which any image viewer or converter opens.
+Palettes follow the paper's color language (Figure 6: hazard in
+red/yellow over dark low-risk terrain).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..geo.geometry import BBox
+from ..geo.raster import GridSpec
+
+__all__ = ["write_ppm", "class_image", "density_image", "WHP_PALETTE",
+           "save_class_image", "save_density_image"]
+
+#: RGB palette for WHP classes, matching the paper's Figure 6 reading:
+#: black/green low risk, yellow/red high risk.
+WHP_PALETTE: dict[int, tuple[int, int, int]] = {
+    0: (12, 12, 16),        # non-burnable / water: near-black
+    1: (24, 60, 32),        # very low: dark green
+    2: (46, 104, 52),       # low: green
+    3: (222, 178, 44),      # moderate: yellow
+    4: (232, 120, 30),      # high: orange
+    5: (205, 28, 24),       # very high: red
+}
+
+
+def write_ppm(pixels: np.ndarray, path: str | Path) -> None:
+    """Write an (H, W, 3) uint8 array as a binary PPM (P6) file."""
+    pixels = np.asarray(pixels)
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise ValueError("pixels must be an (H, W, 3) array")
+    if pixels.dtype != np.uint8:
+        pixels = np.clip(pixels, 0, 255).astype(np.uint8)
+    height, width, _ = pixels.shape
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + pixels.tobytes())
+
+
+def class_image(data: np.ndarray, palette: dict[int, tuple[int, int, int]],
+                background: tuple[int, int, int] = (0, 0, 0)) \
+        -> np.ndarray:
+    """Color an integer raster through a palette into RGB pixels."""
+    height, width = data.shape
+    pixels = np.empty((height, width, 3), dtype=np.uint8)
+    pixels[:] = background
+    for value, color in palette.items():
+        pixels[data == value] = color
+    return pixels
+
+
+def density_image(lons, lats, bbox: BBox, width: int = 900,
+                  height: int | None = None,
+                  color: tuple[int, int, int] = (255, 200, 60),
+                  background: tuple[int, int, int] = (10, 10, 14)) \
+        -> np.ndarray:
+    """Log-scaled point-density heat image (Figure 2/4 style)."""
+    lons = np.asarray(lons, dtype=float)
+    lats = np.asarray(lats, dtype=float)
+    if height is None:
+        height = max(1, int(width * bbox.height / bbox.width))
+    counts = np.zeros((height, width))
+    inside = bbox.contains_many(lons, lats)
+    if inside.any():
+        cols = ((lons[inside] - bbox.min_lon) / bbox.width
+                * (width - 1)).astype(int)
+        rows = ((bbox.max_lat - lats[inside]) / bbox.height
+                * (height - 1)).astype(int)
+        np.add.at(counts, (rows, cols), 1)
+    if counts.max() > 0:
+        level = np.log1p(counts) / np.log1p(counts.max())
+    else:
+        level = counts
+    pixels = np.empty((height, width, 3), dtype=np.uint8)
+    for channel in range(3):
+        pixels[:, :, channel] = (
+            background[channel]
+            + level * (color[channel] - background[channel])
+        ).astype(np.uint8)
+    return pixels
+
+
+def save_class_image(data: np.ndarray, grid: GridSpec, path: str | Path,
+                     palette: dict | None = None) -> Path:
+    """Write a class raster (e.g. the WHP) as a PPM map image."""
+    pixels = class_image(data, palette or WHP_PALETTE)
+    path = Path(path)
+    write_ppm(pixels, path)
+    return path
+
+
+def save_density_image(lons, lats, bbox: BBox, path: str | Path,
+                       width: int = 900) -> Path:
+    """Write a point cloud (e.g. all transceivers) as a PPM heat map."""
+    pixels = density_image(lons, lats, bbox, width=width)
+    path = Path(path)
+    write_ppm(pixels, path)
+    return path

@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+The synthetic universe is expensive enough to matter at test time, so a
+single session-scoped small universe (20k transceivers, 0.1-degree WHP
+grid) is shared by every test that can tolerate shared state; tests that
+mutate or need different parameters build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticUS, small_universe
+
+
+@pytest.fixture(scope="session")
+def universe() -> SyntheticUS:
+    """The shared small synthetic US (treat as read-only)."""
+    return small_universe()
+
+
+@pytest.fixture(scope="session")
+def whp(universe):
+    return universe.whp
+
+
+@pytest.fixture(scope="session")
+def cells(universe):
+    return universe.cells
+
+
+@pytest.fixture(scope="session")
+def counties(universe):
+    return universe.counties
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

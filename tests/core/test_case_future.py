@@ -1,0 +1,102 @@
+"""Tests for repro.core.case_study and repro.core.future."""
+
+import pytest
+
+from repro.core.case_study import DOY_LABELS, case_study_analysis
+from repro.core.future import future_risk_analysis
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+@pytest.fixture(scope="module")
+def summary(universe):
+    return case_study_analysis(universe)
+
+
+@pytest.fixture(scope="module")
+def exposures(universe):
+    return future_risk_analysis(universe)
+
+
+class TestCaseStudy:
+    def test_eight_days(self, summary):
+        assert len(summary.days) == 8
+        assert summary.days[0] == "Oct 25"
+        assert summary.days[-1] == "Nov 1"
+
+    def test_labels_cover_window(self):
+        assert set(DOY_LABELS) == set(range(298, 306))
+
+    def test_power_dominates_peak(self, summary):
+        """The §3.2 headline: >80% of peak outages are power loss."""
+        assert summary.peak_power_share > 0.6
+
+    def test_peak_is_maximum(self, summary):
+        assert summary.peak_total == max(summary.totals())
+
+    def test_peak_around_oct28(self, summary):
+        assert summary.peak_day in ("Oct 27", "Oct 28", "Oct 29")
+
+    def test_final_below_peak(self, summary):
+        assert summary.final_total < summary.peak_total
+
+    def test_damage_persists(self, summary):
+        """Damaged sites are still out at the end of the window
+        (paper: 21 of the 110 still out on 1 Nov were damaged)."""
+        assert summary.final_damaged <= summary.final_total
+
+    def test_series_lengths(self, summary):
+        assert len(summary.power) == len(summary.backhaul) \
+            == len(summary.damage) == 8
+
+    def test_totals_sum(self, summary):
+        totals = summary.totals()
+        for i in range(8):
+            assert totals[i] == (summary.power[i] + summary.backhaul[i]
+                                 + summary.damage[i])
+
+
+class TestFuture:
+    def test_thirteen_rows(self, exposures):
+        assert len(exposures) == 13
+
+    def test_sorted_by_delta(self, exposures):
+        deltas = [r.delta_2040_pct for r in exposures]
+        assert deltas == sorted(deltas, reverse=True)
+        assert deltas[0] == pytest.approx(240.0)
+        assert deltas[-1] == pytest.approx(-119.0)
+
+    def test_at_risk_subset(self, exposures):
+        for r in exposures:
+            assert 0 <= r.at_risk_transceivers <= r.transceivers
+
+    def test_corridor_has_infrastructure(self, exposures):
+        """SLC and Denver anchor the window: transceivers exist."""
+        assert sum(r.transceivers for r in exposures) > 0
+
+    def test_projection_scales_with_delta(self, exposures):
+        for r in exposures:
+            if r.delta_2040_pct > 0:
+                assert r.projected_at_risk_2040 \
+                    >= r.at_risk_transceivers
+            else:
+                assert r.projected_at_risk_2040 \
+                    <= r.at_risk_transceivers
+
+    def test_decreasing_region_clamped_at_zero(self, exposures):
+        worst = exposures[-1]
+        assert worst.projected_at_risk_2040 >= 0
+
+    def test_increasing_flag(self, exposures):
+        assert exposures[0].increasing
+        assert not exposures[-1].increasing
+
+    def test_front_range_most_infrastructure(self, exposures):
+        """Denver's Front Range ecoregion holds the most transceivers
+        in the window."""
+        most = max(exposures, key=lambda r: r.transceivers)
+        assert most.code in ("M331H", "342B", "341A")

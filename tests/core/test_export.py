@@ -1,0 +1,49 @@
+"""Tests for repro.core.export."""
+
+import json
+
+import pytest
+
+from repro.core.export import export_results, run_all_experiments
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+@pytest.fixture(scope="module")
+def doc(universe):
+    return run_all_experiments(universe, validation_oversample=2)
+
+
+class TestDocument:
+    def test_sections_present(self, doc):
+        for key in ("table1", "table2", "table3", "figure5", "figure7",
+                    "figure8", "figure10", "figure12", "validation_s34",
+                    "extension_s38", "cities_s36", "ecoregions_s39",
+                    "config", "library_version"):
+            assert key in doc, key
+
+    def test_config_round(self, doc, universe):
+        assert doc["config"]["n_transceivers"] \
+            == universe.config.n_transceivers
+
+    def test_paper_numbers_embedded(self, doc):
+        assert doc["figure7"]["paper_total"] == 430_844
+        assert doc["validation_s34"]["paper"]["accuracy_pct"] == 46.0
+
+    def test_table1_19_rows(self, doc):
+        assert len(doc["table1"]["rows"]) == 19
+
+    def test_json_serializable(self, doc):
+        text = json.dumps(doc)
+        assert "figure7" in text
+
+    def test_export_writes_file(self, universe, tmp_path):
+        path = tmp_path / "results.json"
+        doc = export_results(universe, path, validation_oversample=2)
+        loaded = json.loads(path.read_text())
+        assert loaded["figure7"]["at_risk_total"] \
+            == doc["figure7"]["at_risk_total"]

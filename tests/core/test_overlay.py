@@ -1,0 +1,94 @@
+"""Tests for repro.core.overlay."""
+
+import numpy as np
+import pytest
+
+from repro.core.overlay import (
+    classify_cells,
+    overlay_fires,
+    overlay_fires_bruteforce,
+)
+from repro.data.wildfires import star_polygon, FirePerimeter
+
+
+@pytest.fixture(scope="module")
+def season(universe):
+    return universe.fire_season(2017)
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+class TestOverlay:
+    def test_index_matches_bruteforce(self, universe, season):
+        fast = overlay_fires(universe.cells, season.fires[:60])
+        slow = overlay_fires_bruteforce(universe.cells, season.fires[:60])
+        np.testing.assert_array_equal(fast.in_perimeter_mask,
+                                      slow.in_perimeter_mask)
+        assert fast.per_fire_counts == slow.per_fire_counts
+
+    def test_empty_fire_list(self, universe):
+        result = overlay_fires(universe.cells, [], year=2001)
+        assert result.n_in_perimeter == 0
+        assert result.year == 2001
+
+    def test_year_from_fires(self, universe, season):
+        result = overlay_fires(universe.cells, season.fires[:1])
+        assert result.year == 2017
+
+    def test_mask_length(self, universe, season):
+        result = overlay_fires(universe.cells, season.fires)
+        assert len(result.in_perimeter_mask) == len(universe.cells)
+
+    def test_per_fire_counts_complete(self, universe, season):
+        result = overlay_fires(universe.cells, season.fires)
+        assert len(result.per_fire_counts) == len(season.fires)
+
+    def test_scaled_count(self, universe, season):
+        result = overlay_fires(universe.cells, season.fires)
+        assert result.scaled_count(10.0) \
+            == round(result.n_in_perimeter * 10)
+
+    def test_fire_on_transceiver_cluster(self, universe, rng):
+        """A fire drawn around a known transceiver must capture it."""
+        cells = universe.cells
+        lon, lat = float(cells.lons[0]), float(cells.lats[0])
+        fire = FirePerimeter(
+            name="test", year=2020, start_doy=200, end_doy=210,
+            acres=50_000.0,
+            polygon=star_polygon(lon, lat, 50_000.0, rng))
+        result = overlay_fires(cells, [fire], year=2020)
+        assert result.in_perimeter_mask[0]
+
+    def test_union_semantics(self, universe, rng):
+        """Two overlapping fires count a transceiver once in the mask."""
+        cells = universe.cells
+        lon, lat = float(cells.lons[0]), float(cells.lats[0])
+        fires = [
+            FirePerimeter("a", 2020, 200, 210, 30_000.0,
+                          star_polygon(lon, lat, 30_000.0, rng)),
+            FirePerimeter("b", 2020, 200, 210, 30_000.0,
+                          star_polygon(lon, lat, 30_000.0, rng)),
+        ]
+        result = overlay_fires(cells, fires)
+        assert result.per_fire_counts["a"] >= 1
+        assert result.per_fire_counts["b"] >= 1
+        # mask counts it once
+        assert result.n_in_perimeter < (result.per_fire_counts["a"]
+                                        + result.per_fire_counts["b"]) \
+            or result.per_fire_counts["a"] == 0
+
+
+class TestClassify:
+    def test_classify_matches_whp(self, universe):
+        classes = classify_cells(universe.cells, universe.whp)
+        direct = universe.whp.classify(universe.cells.lons,
+                                       universe.cells.lats)
+        np.testing.assert_array_equal(classes, direct)
+
+    def test_classify_dtype(self, universe):
+        classes = classify_cells(universe.cells, universe.whp)
+        assert classes.dtype == np.int8

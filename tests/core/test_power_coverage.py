@@ -1,0 +1,114 @@
+"""Tests for repro.core.power and repro.core.coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import (
+    coverage_loss_analysis,
+    estimate_site_radii_m,
+)
+from repro.core.power import (
+    fire_power_impact,
+    power_grid_for,
+    psps_exposure,
+)
+from repro.data.whp import WHPClass
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+@pytest.fixture(scope="module")
+def grid(universe):
+    return power_grid_for(universe, n_substations=200)
+
+
+class TestPowerImpact:
+    def test_cached_grid(self, universe, grid):
+        assert power_grid_for(universe, n_substations=200) is grid
+
+    def test_2019_impact(self, universe, grid):
+        impact = fire_power_impact(universe, 2019, grid=grid)
+        assert impact.year == 2019
+        assert impact.sites_total_affected \
+            >= max(impact.sites_direct, impact.sites_indirect)
+        assert impact.sites_total_affected \
+            <= impact.sites_direct + impact.sites_indirect
+
+    def test_indirect_channel_exists(self, universe, grid):
+        """Across a big season, power-mediated outages appear beyond
+        the perimeters — the §3.2/§3.11 finding."""
+        impact = fire_power_impact(universe, 2017, grid=grid)
+        assert impact.sites_indirect > 0
+
+    def test_counts_nonnegative(self, universe, grid):
+        impact = fire_power_impact(universe, 2010, grid=grid)
+        assert impact.sites_direct >= 0
+        assert impact.lines_cut >= 0
+        assert impact.substations_hit >= 0
+
+
+class TestPspsExposure:
+    def test_shares(self, universe, grid):
+        exposure = psps_exposure(universe, grid=grid)
+        assert 0.0 <= exposure.exposed_share <= 1.0
+        assert exposure.n_lines_at_risk <= exposure.n_lines_total
+        assert exposure.sites_exposed <= exposure.sites_total
+
+    def test_lower_floor_more_exposure(self, universe, grid):
+        high = psps_exposure(universe, grid=grid,
+                             hazard_floor=WHPClass.VERY_HIGH)
+        moderate = psps_exposure(universe, grid=grid,
+                                 hazard_floor=WHPClass.MODERATE)
+        assert moderate.sites_exposed >= high.sites_exposed
+        assert moderate.n_lines_at_risk >= high.n_lines_at_risk
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def result(self, universe):
+        return coverage_loss_analysis(universe)
+
+    def test_radii_bounds(self, universe):
+        radii = estimate_site_radii_m(universe)
+        assert (radii >= 1_500.0).all()
+        assert (radii <= 40_000.0).all()
+        assert len(radii) == universe.cells.n_sites()
+
+    def test_urban_radii_smaller(self, universe):
+        from repro.data.cities import city_by_name
+        cells = universe.cells
+        site_ids, first = np.unique(cells.site_ids, return_index=True)
+        radii = estimate_site_radii_m(universe)
+        la = city_by_name("Los Angeles")
+        d = np.hypot(cells.lons[first] - la.lon,
+                     cells.lats[first] - la.lat)
+        urban = radii[d < 0.3]
+        rural = radii[d > 5.0]
+        if len(urban) and len(rural):
+            assert np.median(urban) < np.median(rural)
+
+    def test_most_population_covered(self, result):
+        assert result.covered_share_before > 0.7
+
+    def test_loss_is_consistent(self, result):
+        assert result.population_covered_after \
+            <= result.population_covered_before
+        assert result.population_lost \
+            == pytest.approx(result.population_covered_before
+                             - result.population_covered_after, rel=0.01)
+
+    def test_loss_small_but_positive(self, result):
+        """Losing at-risk sites strands a small share of the country —
+        redundant urban coverage absorbs most of it (the paper's point
+        that rural/WUI users bear the coverage risk)."""
+        assert 0.0 < result.lost_share < 0.25
+
+    def test_higher_floor_less_loss(self, universe, result):
+        vh_only = coverage_loss_analysis(universe,
+                                         hazard_floor=WHPClass.VERY_HIGH)
+        assert vh_only.sites_lost <= result.sites_lost
+        assert vh_only.population_lost <= result.population_lost + 1e4

@@ -1,0 +1,103 @@
+"""Tests for repro.core.provider_risk and repro.core.technology."""
+
+import pytest
+
+from repro.core.provider_risk import (
+    provider_risk_analysis,
+    regional_carriers_at_risk,
+)
+from repro.core.technology import technology_risk_analysis
+from repro.data.cells import PROVIDER_GROUPS
+from repro.data.whp import WHPClass
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+@pytest.fixture(scope="module")
+def table2(universe):
+    return provider_risk_analysis(universe)
+
+
+@pytest.fixture(scope="module")
+def table3(universe):
+    return technology_risk_analysis(universe)
+
+
+class TestTable2:
+    def test_all_groups_present(self, table2):
+        assert [r.provider for r in table2] == list(PROVIDER_GROUPS)
+
+    def test_att_most_at_risk(self, table2):
+        """Paper: 'AT&T has the most at-risk infrastructure.'"""
+        by_name = {r.provider: r for r in table2}
+        att = by_name["AT&T"].total_at_risk
+        for name in ("T-Mobile", "Sprint", "Verizon", "Others"):
+            assert att > by_name[name].total_at_risk, name
+
+    def test_moderate_exceeds_vh_for_everyone(self, table2):
+        """Paper: each provider has most infrastructure in moderate and
+        least in very high."""
+        for r in table2:
+            assert r.moderate > r.very_high
+
+    def test_percentages_bounded(self, table2):
+        """Paper: moderate percentages 3.9-5.5%, VH 0.31-0.59%."""
+        for r in table2:
+            assert 2.0 < r.pct(WHPClass.MODERATE) < 8.0, r.provider
+            assert 0.1 < r.pct(WHPClass.VERY_HIGH) < 1.5, r.provider
+
+    def test_sprint_least_exposed_share(self, table2):
+        """Sprint's urban footprint gives it the smallest at-risk %."""
+        by_name = {r.provider: r for r in table2}
+        sprint_pct = sum(by_name["Sprint"].pct(c) for c in
+                         (WHPClass.MODERATE, WHPClass.HIGH,
+                          WHPClass.VERY_HIGH))
+        att_pct = sum(by_name["AT&T"].pct(c) for c in
+                      (WHPClass.MODERATE, WHPClass.HIGH,
+                       WHPClass.VERY_HIGH))
+        assert sprint_pct < att_pct
+
+    def test_fleet_sizes_sum_to_universe(self, table2, universe):
+        total = sum(r.fleet_size for r in table2)
+        assert total == pytest.approx(5_364_949, rel=0.01)
+
+    def test_zero_fleet_pct(self):
+        from repro.core.provider_risk import ProviderRisk
+        r = ProviderRisk("x", 0, 0, 0, 0)
+        assert r.pct(WHPClass.MODERATE) == 0.0
+
+
+class TestRegionalCarriers:
+    def test_near_46(self, universe):
+        """Paper footnote: 46 smaller providers have at-risk assets."""
+        n = regional_carriers_at_risk(universe)
+        assert 30 <= n <= 46
+
+
+class TestTable3:
+    def test_four_technologies(self, table3):
+        assert [r.technology for r in table3] \
+            == ["CDMA", "GSM", "LTE", "UMTS"]
+
+    def test_lte_leads_every_class(self, table3):
+        """Paper: LTE has the largest at-risk count in each class."""
+        by_tech = {r.technology: r for r in table3}
+        lte = by_tech["LTE"]
+        for tech in ("CDMA", "GSM", "UMTS"):
+            assert lte.very_high >= by_tech[tech].very_high
+            assert lte.high > by_tech[tech].high
+            assert lte.moderate > by_tech[tech].moderate
+
+    def test_totals(self, table3):
+        for r in table3:
+            assert r.total == r.very_high + r.high + r.moderate
+
+    def test_umts_second(self, table3):
+        """Paper Table 3: UMTS is the second-largest at-risk type."""
+        by_tech = {r.technology: r.total for r in table3}
+        assert by_tech["UMTS"] > by_tech["CDMA"]
+        assert by_tech["UMTS"] > by_tech["GSM"]

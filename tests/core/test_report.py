@@ -1,0 +1,87 @@
+"""Tests for repro.core.report renderers."""
+
+import pytest
+
+from repro.core import report
+from repro.core.case_study import case_study_analysis
+from repro.core.extension import extend_very_high
+from repro.core.future import future_risk_analysis
+from repro.core.hazard import hazard_analysis
+from repro.core.historical import historical_analysis
+from repro.core.metro import metro_risk_analysis
+from repro.core.population_impact import population_impact_analysis
+from repro.core.provider_risk import provider_risk_analysis
+from repro.core.technology import technology_risk_analysis
+from repro.core.validation import validate_whp_2019
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = report.format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_mismatched_row_ok(self):
+        out = report.format_table(["x"], [["hello"]])
+        assert "hello" in out
+
+
+class TestRenderers:
+    def test_table1(self, universe):
+        out = report.render_table1(historical_analysis(universe))
+        assert "2018" in out and "2000" in out
+        assert "Paper" in out
+
+    def test_table2(self, universe):
+        out = report.render_table2(provider_risk_analysis(universe))
+        assert "AT&T" in out and "%" in out
+
+    def test_table3(self, universe):
+        out = report.render_table3(technology_risk_analysis(universe))
+        assert "LTE" in out and "CDMA" in out
+
+    def test_figure5(self, universe):
+        out = report.render_figure5(case_study_analysis(universe))
+        assert "Oct 28" in out and "peak" in out
+
+    def test_figure7(self, universe):
+        out = report.render_figure7(hazard_analysis(universe))
+        assert "Very High" in out and "261,569" in out
+
+    def test_figure8(self, universe):
+        out = report.render_figure8(hazard_analysis(universe))
+        assert "CA" in out
+
+    def test_figure9(self, universe):
+        out = report.render_figure9(hazard_analysis(universe))
+        assert "per 1000" in out
+
+    def test_figure10(self, universe):
+        out = report.render_figure10(
+            population_impact_analysis(universe))
+        assert "Very Dense" in out and "57,504" in out
+
+    def test_figure12(self, universe):
+        out = report.render_figure12(metro_risk_analysis(universe))
+        assert "Los Angeles" in out
+
+    def test_validation(self, universe):
+        out = report.render_validation(
+            validate_whp_2019(universe, oversample=2))
+        assert "accuracy" in out and "LA fires" in out
+
+    def test_extension(self, universe):
+        out = report.render_extension(extend_very_high(universe))
+        assert "->" in out and "paper" in out
+
+    def test_ecoregions(self, universe):
+        out = report.render_ecoregions(future_risk_analysis(universe))
+        assert "I-80" in out and "+240%" in out

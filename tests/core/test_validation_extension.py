@@ -1,0 +1,104 @@
+"""Tests for repro.core.validation and repro.core.extension (§3.4/§3.8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extension import extend_very_high
+from repro.core.validation import ValidationResult, validate_whp_2019
+from repro.data.whp import WHPClass
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+@pytest.fixture(scope="module")
+def result(universe):
+    # large oversample: in-perimeter membership is a ~1e-4 tail event
+    return validate_whp_2019(universe, oversample=24)
+
+
+@pytest.fixture(scope="module")
+def extension(universe):
+    return extend_very_high(universe)
+
+
+class TestValidation:
+    def test_counts_consistent(self, result):
+        assert result.predicted_at_risk + result.missed \
+            == result.in_perimeter_total
+        assert result.missed_in_la_fires <= result.missed
+        assert result.missed_in_la_fires <= result.in_la_fires_total
+
+    def test_accuracy_in_unit_interval(self, result):
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_accuracy_below_one(self, result):
+        """The paper's point: static WHP misses a large share."""
+        assert result.accuracy < 0.85
+
+    def test_la_fires_contribute_misses(self, result):
+        """Misses concentrate in the Saddle Ridge/Tick footprints."""
+        assert result.missed_in_la_fires > 0
+
+    def test_excluding_la_improves(self, result):
+        assert result.accuracy_excluding_la >= result.accuracy - 0.05
+
+    def test_scaled(self, result):
+        assert result.scaled(100) == round(100 * result.universe_scale)
+
+    def test_oversample_shrinks_scale(self, universe):
+        v4 = validate_whp_2019(universe, oversample=4)
+        assert v4.universe_scale \
+            == pytest.approx(universe.universe_scale / 4)
+
+    def test_override_superset_mask(self, universe):
+        """An everything-at-risk override yields perfect accuracy."""
+        full = np.ones(universe.whp.grid.shape, dtype=bool)
+        v = validate_whp_2019(universe, at_risk_mask_override=full,
+                              oversample=4)
+        assert v.accuracy == pytest.approx(1.0)
+
+    def test_override_empty_mask(self, universe):
+        empty = np.zeros(universe.whp.grid.shape, dtype=bool)
+        v = validate_whp_2019(universe, at_risk_mask_override=empty,
+                              oversample=4)
+        assert v.predicted_at_risk == 0
+
+    def test_zero_denominator_nan(self):
+        r = ValidationResult(0, 0, 0, 0, 0, 1.0)
+        assert np.isnan(r.accuracy)
+
+
+class TestExtension:
+    def test_monotone_growth(self, extension):
+        assert extension.vh_after >= extension.vh_before
+        assert extension.total_after >= extension.total_before
+
+    def test_vh_growth_substantial(self, extension):
+        """Paper: 26,307 -> 176,275 (6.7x)."""
+        assert extension.vh_after > 2 * extension.vh_before
+
+    def test_accuracy_never_decreases(self, extension):
+        assert extension.validation_after.accuracy \
+            >= extension.validation_before.accuracy - 1e-9
+
+    def test_accuracy_gain_property(self, extension):
+        assert extension.accuracy_gain == pytest.approx(
+            extension.validation_after.accuracy
+            - extension.validation_before.accuracy)
+
+    def test_total_growth_bounded(self, extension):
+        """The paper calls the growth 'an acceptable trade-off':
+        total at-risk grows, but far less than the VH class does."""
+        total_ratio = extension.total_after / extension.total_before
+        assert total_ratio < 2.0
+
+    def test_radius_recorded(self, extension):
+        assert extension.radius_miles == 0.5
+
+    def test_larger_radius_grows_more(self, universe, extension):
+        bigger = extend_very_high(universe, radius_miles=1.0)
+        assert bigger.vh_after >= extension.vh_after

@@ -1,0 +1,112 @@
+"""Tests for repro.data.cities and repro.data.roads."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data.cities import (
+    COUNTY_BBOXES,
+    PAPER_METROS,
+    WILDLAND_FRONTS,
+    city_by_name,
+    conus_cities,
+)
+from repro.data.roads import distance_to_roads_deg, road_graph, road_segments
+from repro.data.states import StateAssigner
+
+
+class TestCities:
+    def test_count(self):
+        assert len(conus_cities()) >= 70
+
+    def test_unique_names(self):
+        names = [c.name for c in conus_cities()]
+        assert len(set(names)) == len(names)
+
+    def test_unique_county_names(self):
+        counties = [c.county_name for c in conus_cities()]
+        assert len(set(counties)) == len(counties)
+
+    def test_lookup(self):
+        la = city_by_name("Los Angeles")
+        assert la.state == "CA"
+        assert la.county_pop == 10_100_000
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            city_by_name("Gotham")
+
+    def test_paper_metros_exist(self):
+        for name in PAPER_METROS:
+            city_by_name(name)
+
+    def test_cities_are_in_their_states(self):
+        assigner = StateAssigner()
+        mismatches = []
+        for c in conus_cities():
+            got = assigner.assign(c.lon, c.lat)
+            if got != c.state:
+                mismatches.append((c.name, got, c.state))
+        # simplified borders may misplace the odd coastal city
+        assert len(mismatches) <= 3, mismatches
+
+    def test_county_bboxes_contain_anchor(self):
+        for c in conus_cities():
+            box = c.county_bbox
+            if box is None:
+                continue
+            min_lon, min_lat, max_lon, max_lat = box
+            assert min_lon <= c.lon <= max_lon, c.name
+            assert min_lat <= c.lat <= max_lat, c.name
+
+    def test_county_pop_not_exceeding_metro_much(self):
+        for c in conus_cities():
+            assert c.county_pop <= c.metro_pop * 1.6, c.name
+
+    def test_wildland_fronts_reference_cities(self):
+        names = {c.name for c in conus_cities()}
+        for city in WILDLAND_FRONTS:
+            assert city in names
+
+    def test_front_parameters_sane(self):
+        for dlon, dlat, sigma, boost in WILDLAND_FRONTS.values():
+            assert 0 < sigma < 0.5
+            assert 0 < boost <= 1.0
+            assert abs(dlon) < 1.0 and abs(dlat) < 1.0
+
+    def test_county_bbox_tables_consistent(self):
+        county_names = {c.county_name for c in conus_cities()}
+        for name in COUNTY_BBOXES:
+            assert name in county_names, name
+
+
+class TestRoads:
+    def test_graph_connected(self):
+        assert nx.is_connected(road_graph())
+
+    def test_every_city_is_node(self):
+        g = road_graph()
+        for c in conus_cities():
+            assert c.name in g
+
+    def test_edge_lengths_positive(self):
+        g = road_graph()
+        for _, _, data in g.edges(data=True):
+            assert data["length_m"] > 0
+
+    def test_degree_at_least_k(self):
+        g = road_graph()
+        assert min(dict(g.degree()).values()) >= 3
+
+    def test_segments_match_edges(self):
+        assert len(road_segments()) == road_graph().number_of_edges()
+
+    def test_distance_zero_on_city(self):
+        la = city_by_name("Los Angeles")
+        d = distance_to_roads_deg(np.array([la.lon]), np.array([la.lat]))
+        assert d[0] < 1e-6
+
+    def test_distance_positive_off_network(self):
+        # middle of Nevada wilderness
+        d = distance_to_roads_deg(np.array([-117.0]), np.array([39.0]))
+        assert d[0] > 0.05

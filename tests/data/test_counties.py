@@ -1,0 +1,89 @@
+"""Tests for repro.data.counties."""
+
+import numpy as np
+import pytest
+
+from repro.data.counties import PopCategory, categorize_population
+
+
+class TestCategories:
+    @pytest.mark.parametrize("pop,expected", [
+        (0, PopCategory.RURAL),
+        (200_000, PopCategory.RURAL),       # boundary: strictly greater
+        (200_001, PopCategory.POP_M),
+        (500_000, PopCategory.POP_M),
+        (500_001, PopCategory.POP_H),
+        (1_500_000, PopCategory.POP_H),
+        (1_500_001, PopCategory.POP_VH),
+        (10_100_000, PopCategory.POP_VH),
+    ])
+    def test_boundaries(self, pop, expected):
+        assert categorize_population(pop) == expected
+
+
+class TestLayer:
+    def test_named_counties_first(self, counties):
+        assert counties.n_named > 80
+        named = counties.counties[:counties.n_named]
+        assert all(c.anchor_city is not None for c in named)
+
+    def test_paper_top_counties_exist(self, counties):
+        for name in ("Los Angeles", "Cook", "Harris", "Maricopa",
+                     "San Diego", "Miami-Dade", "Clark",
+                     "Philadelphia"):
+            county = counties.by_name(name)
+            assert county.category == PopCategory.POP_VH \
+                or county.population > 1_000_000, name
+
+    def test_by_name_unknown(self, counties):
+        with pytest.raises(KeyError):
+            counties.by_name("Atlantis")
+
+    def test_very_dense_count_near_paper(self, counties):
+        """Paper: 23 counties above 1.5M people."""
+        n = len(counties.very_dense())
+        assert 15 <= n <= 35
+
+    def test_la_county_is_biggest(self, counties):
+        vd = counties.very_dense()
+        biggest = max(vd, key=lambda c: c.population)
+        assert biggest.name == "Los Angeles"
+
+    def test_pop_share_in_categories(self, counties):
+        """Paper: the three categories hold ~65% of US population."""
+        pops = counties.populations()
+        cats = counties.categories()
+        share = pops[cats >= int(PopCategory.POP_M)].sum() / pops.sum()
+        assert 0.5 < share < 0.85
+
+    def test_assignment_priority_named(self, counties):
+        """A point in LA county assigns to it, not an overlapping tile."""
+        la = counties.by_name("Los Angeles")
+        idx = counties.assign(la.bbox.center.lon, la.bbox.center.lat)
+        assert counties.counties[idx].name == "Los Angeles"
+
+    def test_assign_many_matches_scalar(self, counties, rng):
+        lons = rng.uniform(-120, -75, 300)
+        lats = rng.uniform(28, 45, 300)
+        many = counties.assign_many(lons, lats)
+        for i in range(0, 300, 20):
+            assert many[i] == counties.assign(lons[i], lats[i])
+
+    def test_most_land_points_assigned(self, counties, cells):
+        idx = counties.assign_many(cells.lons[:3000], cells.lats[:3000])
+        assert (idx >= 0).mean() > 0.92
+
+    def test_ocean_unassigned(self, counties):
+        assert counties.assign(-70.0, 33.0) == -1
+
+    def test_subdivided_tiles_not_very_dense_unanchored(self, counties):
+        """Unanchored leaf tiles stay below the subdivision cut unless
+        they are at minimum size."""
+        for c in counties.counties[counties.n_named:]:
+            if c.population > 1_500_000:
+                assert c.bbox.width <= 0.35 / 2 + 1e-9, c.name
+
+    def test_categories_array_matches(self, counties):
+        cats = counties.categories()
+        for i in (0, len(cats) // 2, len(cats) - 1):
+            assert cats[i] == int(counties.counties[i].category)

@@ -1,0 +1,102 @@
+"""Tests for repro.data.dirs (the FCC case-study simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dirs import (
+    DIRS_REGION,
+    DIRS_REPORT_DAYS,
+    DirsDailyReport,
+    simulate_dirs,
+)
+from repro.data.cells import CellUniverse
+
+
+@pytest.fixture(scope="module")
+def sim(universe):
+    return universe.dirs
+
+
+@pytest.fixture(scope="session")
+def universe():
+    # module-level copy to avoid import shadowing of the session fixture
+    from repro.data import small_universe
+    return small_universe()
+
+
+class TestSimulation:
+    def test_eight_report_days(self, sim):
+        assert len(sim.reports) == 8
+        assert [r.doy for r in sim.reports] == list(DIRS_REPORT_DAYS)
+
+    def test_power_dominates_at_peak(self, sim):
+        """The paper's central §3.2 finding: >80% of the peak-day
+        outages are power, not damage."""
+        peak = sim.peak()
+        assert peak.sites_out_power / max(peak.sites_out_total, 1) > 0.6
+
+    def test_peak_late_in_window(self, sim):
+        peak = sim.peak()
+        assert peak.doy in (300, 301, 302)  # around 28 October
+
+    def test_outages_decline_after_peak(self, sim):
+        totals = [r.sites_out_total for r in sim.reports]
+        peak_i = int(np.argmax(totals))
+        assert totals[-1] < totals[peak_i]
+
+    def test_damage_monotone_nondecreasing(self, sim):
+        dmg = [r.sites_out_damage for r in sim.reports]
+        assert all(b >= a for a, b in zip(dmg, dmg[1:]))
+
+    def test_region_sites_positive(self, sim):
+        assert sim.n_region_sites > 0
+
+    def test_out_never_exceeds_region(self, sim):
+        for r in sim.reports:
+            assert r.sites_out_total <= sim.n_region_sites
+
+    def test_scaled_reports(self, sim):
+        scaled = sim.scaled_reports(10.0)
+        assert len(scaled) == 8
+        assert scaled[0]["power"] \
+            == round(sim.reports[0].sites_out_power * 10)
+
+    def test_empty_region(self):
+        """A universe with no sites in California produces zero outages."""
+        empty = CellUniverse(
+            lons=np.array([-80.0]), lats=np.array([30.0]),
+            site_ids=np.array([0], dtype=np.int64),
+            mcc=np.array([310], dtype=np.int32),
+            mnc=np.array([410], dtype=np.int32),
+            provider_group=np.array([0], dtype=np.int8),
+            radio=np.array([3], dtype=np.int8))
+        sim = simulate_dirs(empty, [])
+        assert all(r.sites_out_total == 0 for r in sim.reports)
+
+    def test_deterministic(self, universe):
+        a = simulate_dirs(universe.cells, universe.fire_season(2019).fires,
+                          seed=5)
+        b = simulate_dirs(universe.cells, universe.fire_season(2019).fires,
+                          seed=5)
+        assert [r.sites_out_total for r in a.reports] \
+            == [r.sites_out_total for r in b.reports]
+
+    def test_higher_psps_fraction_more_outages(self, universe):
+        fires = universe.fire_season(2019).fires
+        low = simulate_dirs(universe.cells, fires, seed=5,
+                            psps_site_fraction=0.005)
+        high = simulate_dirs(universe.cells, fires, seed=5,
+                             psps_site_fraction=0.05)
+        assert high.peak().sites_out_total > low.peak().sites_out_total
+
+    def test_region_bbox_is_california(self):
+        assert DIRS_REGION.contains(-122.4, 38.5)   # wine country
+        assert DIRS_REGION.contains(-118.2, 34.3)   # LA
+        assert not DIRS_REGION.contains(-100.0, 35.0)
+
+
+class TestReportType:
+    def test_total(self):
+        r = DirsDailyReport(doy=300, sites_out_power=10,
+                            sites_out_backhaul=3, sites_out_damage=2)
+        assert r.sites_out_total == 15

@@ -1,0 +1,95 @@
+"""Tests for repro.data.ecoregions and repro.data.historical_stats."""
+
+import numpy as np
+import pytest
+
+from repro.data.ecoregions import (
+    ecoregion_at,
+    slc_denver_ecoregions,
+    slc_denver_window,
+)
+from repro.data.historical_stats import (
+    HISTORICAL_YEARS,
+    STUDY_YEARS,
+    year_stats,
+)
+
+
+class TestEcoregions:
+    def test_thirteen_regions(self):
+        """The paper: 'This region contains 13 different ecoregions.'"""
+        assert len(slc_denver_ecoregions()) == 13
+
+    def test_deltas_span_paper_extremes(self):
+        deltas = [r.delta_2040_pct for r in slc_denver_ecoregions()]
+        assert max(deltas) == pytest.approx(240.0)
+        assert min(deltas) == pytest.approx(-119.0)
+
+    def test_partition_no_gaps(self, rng):
+        """Every point in the window belongs to exactly one region."""
+        window = slc_denver_window()
+        lons = rng.uniform(window.min_lon + 0.01, window.max_lon - 0.01,
+                           500)
+        lats = rng.uniform(window.min_lat + 0.01, window.max_lat - 0.01,
+                           500)
+        for lon, lat in zip(lons, lats):
+            count = sum(r.polygon.contains(lon, lat)
+                        for r in slc_denver_ecoregions())
+            # boundaries can double count (contains is edge-inclusive)
+            assert count >= 1, (lon, lat)
+
+    def test_interior_points_unique(self, rng):
+        window = slc_denver_window()
+        lons = rng.uniform(window.min_lon + 0.01, window.max_lon - 0.01,
+                           300)
+        lats = rng.uniform(window.min_lat + 0.01, window.max_lat - 0.01,
+                           300)
+        multi = 0
+        for lon, lat in zip(lons, lats):
+            count = sum(r.polygon.contains(lon, lat)
+                        for r in slc_denver_ecoregions())
+            if count > 1:
+                multi += 1
+        assert multi / 300 < 0.05  # only boundary hits
+
+    def test_i80_corridor_region_has_max_increase(self):
+        """I-80 through southern Wyoming crosses the +240% region."""
+        region = ecoregion_at(-109.0, 41.4)
+        assert region is not None
+        assert region.delta_2040_pct == pytest.approx(240.0)
+
+    def test_i70_rockies_decrease(self):
+        region = ecoregion_at(-106.5, 39.6)
+        assert region is not None
+        assert region.delta_2040_pct == pytest.approx(-119.0)
+
+    def test_outside_window_none(self):
+        assert ecoregion_at(-100.0, 35.0) is None
+
+    def test_unique_codes(self):
+        codes = [r.code for r in slc_denver_ecoregions()]
+        assert len(set(codes)) == len(codes)
+
+
+class TestHistoricalStats:
+    def test_study_years(self):
+        assert STUDY_YEARS == tuple(range(2000, 2019))
+
+    def test_all_years_present(self):
+        for year in range(2000, 2020):
+            assert year in HISTORICAL_YEARS
+
+    def test_paper_table1_values(self):
+        assert year_stats(2018).n_fires == 58_083
+        assert year_stats(2018).acres_burned == pytest.approx(8.767)
+        assert year_stats(2007).n_fires == 85_705
+        assert year_stats(2010).acres_burned == pytest.approx(3.422)
+
+    def test_unknown_year(self):
+        with pytest.raises(KeyError):
+            year_stats(1995)
+
+    def test_magnitudes(self):
+        for stats in HISTORICAL_YEARS.values():
+            assert 40_000 < stats.n_fires < 100_000
+            assert 3.0 < stats.acres_burned < 11.0

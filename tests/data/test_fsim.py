@@ -1,0 +1,90 @@
+"""Tests for repro.data.fsim (burn-probability simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.data.fsim import (
+    BurnProbability,
+    FsimConfig,
+    derive_whp_classes,
+    run_fsim,
+)
+from repro.data.whp import WHPClass
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+@pytest.fixture(scope="module")
+def burn(universe):
+    return run_fsim(universe.whp,
+                    FsimConfig(n_ignitions=600, max_steps=40))
+
+
+class TestSimulation:
+    def test_counts_shape(self, universe, burn):
+        assert burn.burn_counts.data.shape == universe.whp.grid.shape
+
+    def test_some_burning_happened(self, burn):
+        assert burn.total_cells_burned > 0
+        assert burn.burn_counts.data.sum() == burn.total_cells_burned
+
+    def test_probability_bounds(self, burn):
+        p = burn.probability()
+        assert (p >= 0).all()
+        # a cell burns at most once per fire
+        assert p.max() <= 1.0
+
+    def test_no_burning_on_water(self, universe, burn):
+        water = universe.whp.fuel.data <= 0
+        assert burn.burn_counts.data[water].sum() == 0
+
+    def test_burns_concentrate_in_fuel(self, universe, burn):
+        fuel = universe.whp.fuel.data
+        land = fuel > 0
+        hi = land & (fuel > np.percentile(fuel[land], 80))
+        lo = land & (fuel < np.percentile(fuel[land], 20))
+        assert burn.burn_counts.data[hi].mean() \
+            > burn.burn_counts.data[lo].mean()
+
+    def test_deterministic(self, universe):
+        cfg = FsimConfig(n_ignitions=100, max_steps=20, seed=5)
+        a = run_fsim(universe.whp, cfg)
+        b = run_fsim(universe.whp, cfg)
+        np.testing.assert_array_equal(a.burn_counts.data,
+                                      b.burn_counts.data)
+
+    def test_more_ignitions_more_burns(self, universe):
+        few = run_fsim(universe.whp,
+                       FsimConfig(n_ignitions=50, max_steps=20))
+        many = run_fsim(universe.whp,
+                        FsimConfig(n_ignitions=400, max_steps=20))
+        assert many.total_cells_burned > few.total_cells_burned
+
+    def test_wind_strength_zero_ok(self, universe):
+        burn = run_fsim(universe.whp,
+                        FsimConfig(n_ignitions=50, max_steps=20,
+                                   wind_strength=0.0))
+        assert burn.total_cells_burned >= 50  # at least ignition cells
+
+
+class TestDerivedClasses:
+    def test_shape_and_values(self, universe, burn):
+        classes = derive_whp_classes(universe.whp, burn)
+        assert classes.shape == universe.whp.grid.shape
+        assert set(np.unique(classes)) <= {int(c) for c in WHPClass}
+
+    def test_nonburnable_preserved(self, universe, burn):
+        classes = derive_whp_classes(universe.whp, burn)
+        prod_nb = universe.whp.raster.data == int(WHPClass.NON_BURNABLE)
+        assert (classes[prod_nb] == int(WHPClass.NON_BURNABLE)).all()
+
+    def test_agreement_beats_chance(self, universe, burn):
+        classes = derive_whp_classes(universe.whp, burn)
+        prod = universe.whp.raster.data
+        both = ((prod >= 3) & (classes >= 3)).sum()
+        either = ((prod >= 3) | (classes >= 3)).sum()
+        assert both / max(either, 1) > 0.25

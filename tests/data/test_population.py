@@ -1,0 +1,89 @@
+"""Tests for repro.data.population."""
+
+import numpy as np
+import pytest
+
+from repro.data.cities import city_by_name
+from repro.data.population import CONUS_POPULATION, PopulationSurface
+from repro.geo.geometry import BBox
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return PopulationSurface(resolution_deg=0.2)  # coarse, fast
+
+
+class TestSurface:
+    def test_normalized_total(self, pop):
+        assert pop.raster.data.sum() == pytest.approx(CONUS_POPULATION,
+                                                      rel=1e-6)
+
+    def test_nonnegative(self, pop):
+        assert (pop.raster.data >= 0).all()
+
+    def test_ocean_is_zero(self, pop):
+        # Atlantic, Pacific, Gulf
+        for lon, lat in ((-70.0, 35.0), (-126.0, 40.0), (-90.0, 26.5)):
+            assert pop.density_at(lon, lat) == 0.0
+
+    def test_cities_denser_than_wilderness(self, pop):
+        la = city_by_name("Los Angeles")
+        urban = pop.density_at(la.lon, la.lat)
+        wild = pop.density_at(-117.0, 39.0)  # central Nevada
+        assert urban > 50 * wild
+
+    def test_metro_mass_near_anchor(self, pop):
+        """Most of a metro's population lies within ~1 degree."""
+        chi = city_by_name("Chicago")
+        box = BBox(chi.lon - 1, chi.lat - 1, chi.lon + 1, chi.lat + 1)
+        near = pop.population_in_bbox(box)
+        assert near > 0.5 * chi.metro_pop
+
+    def test_wildland_front_voided(self, pop):
+        """The San Gabriel front holds fewer people than the inland
+        fringe at the same distance from downtown (due east, toward
+        Riverside)."""
+        la = city_by_name("Los Angeles")
+        d = np.hypot(0.15, 0.35)
+        front = pop.density_at(la.lon + 0.15, la.lat + 0.35)
+        inland = pop.density_at(la.lon + d, la.lat)
+        assert front < inland
+
+    def test_road_distance_raster_available(self, pop):
+        assert pop.road_distance is not None
+        assert pop.road_distance.grid.shape == pop.grid.shape
+
+    def test_population_in_bbox_disjoint(self, pop):
+        assert pop.population_in_bbox(BBox(0, 0, 1, 1)) == 0.0
+
+    def test_population_in_bbox_total(self, pop):
+        total = pop.population_in_bbox(pop.grid.bbox)
+        assert total == pytest.approx(CONUS_POPULATION, rel=1e-6)
+
+
+class TestSampling:
+    def test_sample_points_on_land(self, pop, rng):
+        lons, lats = pop.sample_points(500, rng, exponent=0.85)
+        dens = pop.density_at(lons, lats)
+        # jitter can push a coastal point into a zero cell; rare
+        assert (dens > 0).mean() > 0.95
+
+    def test_sample_points_shape(self, pop, rng):
+        lons, lats = pop.sample_points(17, rng)
+        assert lons.shape == (17,) and lats.shape == (17,)
+
+    def test_exponent_flattens(self, pop):
+        """Lower exponent spreads samples into low-density cells."""
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        lons_h, lats_h = pop.sample_points(4000, rng1, exponent=1.0)
+        lons_l, lats_l = pop.sample_points(4000, rng2, exponent=0.5)
+        med_h = np.median(pop.density_at(lons_h, lats_h))
+        med_l = np.median(pop.density_at(lons_l, lats_l))
+        assert med_l < med_h
+
+    def test_deterministic_given_seed(self, pop):
+        a = pop.sample_points(50, np.random.default_rng(9))
+        b = pop.sample_points(50, np.random.default_rng(9))
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])

@@ -1,0 +1,99 @@
+"""Tests for repro.data.powergrid."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data.powergrid import build_power_grid
+from repro.data.wildfires import star_polygon
+
+
+@pytest.fixture(scope="module")
+def grid(universe):
+    return build_power_grid(universe.population, universe.cells,
+                            n_substations=120, seed=3)
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+class TestBuild:
+    def test_rejects_tiny(self, universe):
+        with pytest.raises(ValueError):
+            build_power_grid(universe.population, universe.cells,
+                             n_substations=1)
+
+    def test_substation_count(self, grid):
+        assert grid.n_substations == 120
+
+    def test_graph_connected(self, grid):
+        assert nx.is_connected(grid.graph)
+
+    def test_lines_match_graph(self, grid):
+        assert grid.n_lines == grid.graph.number_of_edges()
+
+    def test_every_site_assigned(self, grid, universe):
+        site_ids = set(np.unique(universe.cells.site_ids).tolist())
+        assert set(grid.site_substation) == site_ids
+
+    def test_assignment_is_nearest(self, grid, universe):
+        cells = universe.cells
+        site_ids, first = np.unique(cells.site_ids, return_index=True)
+        for k in range(0, len(site_ids), 500):
+            lon, lat = cells.lons[first[k]], cells.lats[first[k]]
+            d2 = (grid.substation_lons - lon) ** 2 \
+                + (grid.substation_lats - lat) ** 2
+            assert grid.site_substation[int(site_ids[k])] \
+                == int(np.argmin(d2))
+
+    def test_line_segments(self, grid):
+        segs = grid.line_segments()
+        assert len(segs) == grid.n_lines
+
+    def test_deterministic(self, universe):
+        a = build_power_grid(universe.population, universe.cells,
+                             n_substations=50, seed=9)
+        b = build_power_grid(universe.population, universe.cells,
+                             n_substations=50, seed=9)
+        np.testing.assert_allclose(a.substation_lons, b.substation_lons)
+
+
+class TestFailurePropagation:
+    def test_no_failures_no_dead(self, grid):
+        assert grid.dead_sites(set(), set()) == set()
+
+    def test_dead_substation_kills_its_sites(self, grid):
+        sub = next(iter(grid.site_substation.values()))
+        dead = grid.dead_sites({sub}, set())
+        expected = set(grid.sites_of_substation(sub))
+        assert expected <= dead
+
+    def test_cutting_all_lines_kills_everything(self, grid):
+        dead = grid.dead_sites(set(), set(range(grid.n_lines)))
+        # only the largest remaining component (single nodes) stays
+        # energized; with all lines cut, all but one node is islanded
+        assert len(dead) >= len(grid.site_substation) * 0.5
+
+    def test_substations_in_polygon(self, grid, rng):
+        lon = float(grid.substation_lons[0])
+        lat = float(grid.substation_lats[0])
+        poly = star_polygon(lon, lat, 100_000.0, rng)
+        assert 0 in grid.substations_in_polygon(poly)
+
+    def test_lines_crossing_mask(self, grid, universe):
+        whp = universe.whp
+        all_mask = np.ones(whp.grid.shape, dtype=bool)
+        crossing = grid.lines_crossing_mask(whp, all_mask)
+        assert len(crossing) == grid.n_lines
+        none = grid.lines_crossing_mask(
+            whp, np.zeros(whp.grid.shape, dtype=bool))
+        assert len(none) == 0
+
+    def test_feeder_cut_sites_full_mask(self, grid, universe):
+        whp = universe.whp
+        all_mask = np.ones(whp.grid.shape, dtype=bool)
+        cut = grid.feeder_cut_sites(universe.cells, whp, all_mask)
+        assert len(cut) == len(grid.site_substation)

@@ -1,0 +1,123 @@
+"""Tests for repro.data.providers and repro.data.radios."""
+
+import numpy as np
+import pytest
+
+from repro.data.providers import (
+    MAJOR_PROVIDERS,
+    provider_market_shares,
+    provider_registry,
+    resolve_provider,
+    rural_affinity,
+)
+from repro.data.radios import RadioType, draw_radio_types, technology_mix
+
+
+class TestRegistry:
+    def test_major_providers_present(self):
+        registry = provider_registry()
+        for name in MAJOR_PROVIDERS:
+            assert name in registry
+
+    def test_46_regional_carriers(self):
+        registry = provider_registry()
+        regional = [p for p in registry.values()
+                    if p.name not in MAJOR_PROVIDERS]
+        assert len(regional) == 46
+
+    def test_no_duplicate_plmns(self):
+        seen = set()
+        for p in provider_registry().values():
+            for plmn in p.plmns:
+                key = (plmn.mcc, plmn.mnc)
+                assert key not in seen, key
+                seen.add(key)
+
+    def test_majors_have_many_plmns(self):
+        """The paper's point: majors own many ids via acquisitions."""
+        registry = provider_registry()
+        for name in MAJOR_PROVIDERS:
+            assert len(registry[name].plmns) >= 8, name
+
+    def test_shares_sum_to_one(self):
+        assert sum(provider_market_shares().values()) \
+            == pytest.approx(1.0)
+
+    def test_share_ordering_matches_paper(self):
+        shares = provider_market_shares()
+        assert shares["AT&T"] > shares["T-Mobile"] > shares["Sprint"]
+        assert shares["Sprint"] > shares["Others"]
+
+
+class TestResolution:
+    def test_flagship_ids(self):
+        assert resolve_provider(310, 410) == "AT&T"
+        assert resolve_provider(310, 260) == "T-Mobile"
+        assert resolve_provider(310, 120) == "Sprint"
+        assert resolve_provider(311, 480) == "Verizon"
+
+    def test_legacy_ids_resolve_to_acquirer(self):
+        assert resolve_provider(310, 660) == "T-Mobile"  # MetroPCS
+        assert resolve_provider(311, 390) == "Verizon"   # Alltel
+        assert resolve_provider(310, 680) == "AT&T"      # Dobson
+
+    def test_unknown(self):
+        assert resolve_provider(208, 1) == "Unknown"  # Orange France
+
+    def test_regional_resolution(self):
+        registry = provider_registry()
+        regional = next(p for p in registry.values()
+                        if p.name not in MAJOR_PROVIDERS)
+        plmn = regional.plmns[0]
+        assert resolve_provider(plmn.mcc, plmn.mnc) == regional.name
+
+
+class TestAffinity:
+    def test_sprint_most_urban(self):
+        assert rural_affinity("Sprint") < rural_affinity("T-Mobile") \
+            < rural_affinity("AT&T")
+
+    def test_unknown_group_gets_default(self):
+        assert rural_affinity("nope") == rural_affinity("Others")
+
+
+class TestTechnologyMix:
+    def test_mix_sums_to_one(self):
+        for group in (*MAJOR_PROVIDERS, "Others"):
+            assert sum(technology_mix(group)) == pytest.approx(1.0)
+
+    def test_cdma_split(self):
+        """CDMA only on the Verizon/Sprint side; GSM only on AT&T/TMO."""
+        assert technology_mix("AT&T")[2] == 0.0
+        assert technology_mix("T-Mobile")[2] == 0.0
+        assert technology_mix("Verizon")[0] == 0.0
+        assert technology_mix("Sprint")[0] == 0.0
+
+    def test_draw_respects_zero_entries(self, rng):
+        groups = np.array(["Verizon"] * 2000)
+        radios = draw_radio_types(groups, np.full(2000, 0.5), rng)
+        assert not (radios == int(RadioType.GSM)).any()
+
+    def test_no_5g_in_snapshot(self, rng):
+        groups = np.array(["AT&T"] * 2000)
+        radios = draw_radio_types(groups, np.zeros(2000), rng)
+        assert not (radios == int(RadioType.NR5G)).any()
+
+    def test_rural_lte_tilt(self, rng):
+        groups = np.array(["AT&T"] * 20000)
+        rural = draw_radio_types(groups, np.ones(20000),
+                                 np.random.default_rng(1))
+        urban = draw_radio_types(groups, np.zeros(20000),
+                                 np.random.default_rng(1))
+        lte_rural = (rural == int(RadioType.LTE)).mean()
+        lte_urban = (urban == int(RadioType.LTE)).mean()
+        assert lte_rural > lte_urban + 0.05
+
+    def test_draw_matches_base_mix(self, rng):
+        groups = np.array(["T-Mobile"] * 50000)
+        radios = draw_radio_types(groups, np.zeros(50000), rng)
+        gsm, umts, cdma, lte = technology_mix("T-Mobile")
+        assert (radios == int(RadioType.LTE)).mean() \
+            == pytest.approx(lte, abs=0.02)
+        assert (radios == int(RadioType.UMTS)).mean() \
+            == pytest.approx(umts, abs=0.02)

@@ -1,0 +1,60 @@
+"""Tests for repro.data.universe."""
+
+import pytest
+
+from repro.data import SyntheticUS, UniverseConfig, small_universe
+
+
+class TestConfig:
+    def test_frozen(self):
+        cfg = UniverseConfig()
+        with pytest.raises(Exception):
+            cfg.seed = 1
+
+    def test_defaults(self):
+        cfg = UniverseConfig()
+        assert cfg.n_transceivers == 150_000
+        assert cfg.whp_resolution_deg == 0.05
+
+
+class TestLaziness:
+    def test_components_lazy(self):
+        u = SyntheticUS(UniverseConfig(n_transceivers=100))
+        assert u._population is None
+        assert u._cells is None
+
+    def test_component_cached(self):
+        u = SyntheticUS(UniverseConfig(n_transceivers=100))
+        assert u.population is u.population
+
+    def test_fire_seasons_cached(self, universe):
+        assert universe.fire_season(2005) is universe.fire_season(2005)
+
+    def test_small_universe_cached_globally(self):
+        assert small_universe() is small_universe()
+
+    def test_validation_cells_cached(self, universe):
+        a = universe.validation_cells(2)
+        assert universe.validation_cells(2) is a
+        assert len(a) == 2 * universe.config.n_transceivers
+
+
+class TestConsistency:
+    def test_universe_scale(self, universe):
+        assert universe.universe_scale \
+            == pytest.approx(5_364_949 / len(universe.cells))
+
+    def test_2019_season_has_scripted_fires(self, universe):
+        names = {f.name for f in universe.fire_season(2019).fires}
+        assert "Kincade" in names and "Saddle Ridge" in names
+
+    def test_historical_season_no_scripted(self, universe):
+        names = {f.name for f in universe.fire_season(2018).fires}
+        assert "Kincade" not in names
+
+    def test_seed_isolation(self):
+        a = SyntheticUS(UniverseConfig(n_transceivers=500, seed=1,
+                                       whp_resolution_deg=0.2))
+        b = SyntheticUS(UniverseConfig(n_transceivers=500, seed=2,
+                                       whp_resolution_deg=0.2))
+        assert not (a.cells.lons == b.cells.lons).all()

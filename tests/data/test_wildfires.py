@@ -1,0 +1,123 @@
+"""Tests for repro.data.wildfires."""
+
+import numpy as np
+import pytest
+
+from repro.data.historical_stats import year_stats
+from repro.data.whp import WHPClass
+from repro.data.wildfires import (
+    SCRIPTED_LA_FIRES_2019,
+    generate_2019_season,
+    generate_fire_season,
+    scripted_2019_fires,
+    star_polygon,
+)
+
+
+class TestStarPolygon:
+    def test_area_matches_target(self, rng):
+        for acres in (100.0, 10_000.0, 300_000.0):
+            poly = star_polygon(-110.0, 40.0, acres, rng)
+            assert poly.area_acres() == pytest.approx(acres, rel=0.02)
+
+    def test_contains_center(self, rng):
+        poly = star_polygon(-110.0, 40.0, 5_000.0, rng)
+        assert poly.contains(-110.0, 40.0)
+
+    def test_rejects_nonpositive_area(self, rng):
+        with pytest.raises(ValueError):
+            star_polygon(-110.0, 40.0, 0.0, rng)
+
+    def test_irregular_outline(self, rng):
+        poly = star_polygon(-110.0, 40.0, 50_000.0, rng,
+                            roughness=0.45)
+        c = poly.centroid()
+        from repro.geo.projection import haversine_m
+        radii = haversine_m(np.full(len(poly.exterior), c.lon),
+                            np.full(len(poly.exterior), c.lat),
+                            poly.exterior[:, 0], poly.exterior[:, 1])
+        assert radii.max() / radii.min() > 1.2
+
+
+class TestSeasonGeneration:
+    @pytest.fixture(scope="class")
+    def season(self, whp):
+        return generate_fire_season(2014, whp, seed=99)
+
+    def test_total_acreage_matches_record(self, season):
+        assert season.total_acres() \
+            == pytest.approx(year_stats(2014).acres_burned * 1e6,
+                             rel=1e-6)
+
+    def test_fire_count_hundreds(self, season):
+        assert 150 <= len(season) <= 2000
+
+    def test_heavy_tail(self, season):
+        sizes = sorted((f.acres for f in season.fires), reverse=True)
+        top10_share = sum(sizes[:max(1, len(sizes) // 10)]) \
+            / sum(sizes)
+        assert top10_share > 0.5
+
+    def test_dates_within_year(self, season):
+        for fire in season.fires:
+            assert 1 <= fire.start_doy <= 365
+            assert fire.start_doy <= fire.end_doy <= 365
+            assert fire.duration_days >= 1
+
+    def test_ignitions_prefer_hazard(self, whp, season):
+        """Most perimeter centroids are in burnable cells."""
+        classes = np.array([
+            whp.classify(f.polygon.centroid().lon,
+                         f.polygon.centroid().lat)
+            for f in season.fires])
+        assert (classes >= int(WHPClass.LOW)).mean() > 0.6
+
+    def test_deterministic(self, whp):
+        a = generate_fire_season(2013, whp, seed=7)
+        b = generate_fire_season(2013, whp, seed=7)
+        assert [f.acres for f in a.fires] == [f.acres for f in b.fires]
+
+    def test_custom_total_acres(self, whp):
+        season = generate_fire_season(2013, whp, seed=7,
+                                      total_acres=1e6,
+                                      n_perimeter_fires=50)
+        assert season.total_acres() == pytest.approx(1e6, rel=1e-6)
+        assert len(season) == 50
+
+
+class TestScripted2019:
+    def test_four_fires(self):
+        fires = scripted_2019_fires()
+        assert {f.name for f in fires} \
+            == {"Kincade", "Getty", "Saddle Ridge", "Tick"}
+
+    def test_real_acreages(self):
+        by_name = {f.name: f for f in scripted_2019_fires()}
+        assert by_name["Kincade"].acres == pytest.approx(77_758)
+        assert by_name["Getty"].acres == pytest.approx(745)
+
+    def test_polygon_areas_match_acres(self):
+        for fire in scripted_2019_fires():
+            assert fire.polygon.area_acres() \
+                == pytest.approx(fire.acres, rel=0.02)
+
+    def test_la_fires_near_los_angeles(self):
+        from repro.data.cities import city_by_name
+        la = city_by_name("Los Angeles")
+        for fire in scripted_2019_fires():
+            if fire.name in SCRIPTED_LA_FIRES_2019:
+                c = fire.polygon.centroid()
+                assert abs(c.lon - la.lon) < 0.5
+                assert abs(c.lat - la.lat) < 0.5
+
+    def test_2019_season_includes_scripted(self, whp):
+        season = generate_2019_season(whp, seed=1)
+        names = {f.name for f in season.fires}
+        assert set(SCRIPTED_LA_FIRES_2019) <= names
+        assert "Kincade" in names
+
+    def test_2019_total_matches_record(self, whp):
+        season = generate_2019_season(whp, seed=1)
+        assert season.total_acres() \
+            == pytest.approx(year_stats(2019).acres_burned * 1e6,
+                             rel=1e-6)

@@ -1,0 +1,70 @@
+"""Tests for repro.geo.buffer."""
+
+import numpy as np
+import pytest
+
+from repro.geo.buffer import buffer_point, buffer_polygon
+from repro.geo.geometry import Polygon
+from repro.geo.projection import miles_to_meters
+
+SQUARE = [(-100.0, 35.0), (-99.0, 35.0), (-99.0, 36.0), (-100.0, 36.0)]
+
+
+class TestBufferPoint:
+    def test_area_matches_circle(self):
+        c = buffer_point(-100.0, 35.0, 5_000.0, n_vertices=128)
+        assert c.area_sqm() == pytest.approx(np.pi * 5_000.0 ** 2,
+                                             rel=0.01)
+
+    def test_contains_center(self):
+        c = buffer_point(-100.0, 35.0, 1_000.0)
+        assert c.contains(-100.0, 35.0)
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            buffer_point(0, 0, 0.0)
+
+    def test_isotropic_in_meters(self):
+        """The circle spans the right distance north and east."""
+        from repro.geo.projection import haversine_m
+        c = buffer_point(-100.0, 45.0, 10_000.0, n_vertices=256)
+        lons = c.exterior[:, 0]
+        lats = c.exterior[:, 1]
+        d = haversine_m(np.full(len(lons), -100.0),
+                        np.full(len(lons), 45.0), lons, lats)
+        np.testing.assert_allclose(d, 10_000.0, rtol=0.02)
+
+
+class TestBufferPolygon:
+    def test_grows_area(self):
+        p = Polygon(SQUARE)
+        b = buffer_polygon(p, miles_to_meters(0.5))
+        assert b.area_sqm() > p.area_sqm()
+
+    def test_contains_original_vertices(self):
+        p = Polygon(SQUARE)
+        b = buffer_polygon(p, 5_000.0)
+        for lon, lat in p.exterior:
+            assert b.contains(lon, lat)
+
+    def test_expected_area_growth(self):
+        """Buffered square area ~ A + perimeter*r + pi r^2."""
+        p = Polygon(SQUARE)
+        r = 2_000.0
+        b = buffer_polygon(p, r, arc_step_deg=5.0)
+        from repro.geo.projection import meters_per_degree
+        mx, my = meters_per_degree(35.5)
+        perimeter = 2 * (mx + my)
+        expected = p.area_sqm() + perimeter * r + np.pi * r * r
+        assert b.area_sqm() == pytest.approx(expected, rel=0.02)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            buffer_polygon(Polygon(SQUARE), -10.0)
+
+    def test_concave_polygon_buffers(self):
+        concave = [(-100, 35), (-99, 35), (-99, 36), (-99.5, 35.5),
+                   (-100, 36)]
+        p = Polygon(concave)
+        b = buffer_polygon(p, 1_000.0)
+        assert b.area_sqm() > p.area_sqm()

@@ -1,0 +1,94 @@
+"""Tests for repro.geo.geojson."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geojson import (
+    dump_features,
+    feature,
+    feature_collection,
+    geometry_from_geojson,
+    geometry_to_geojson,
+    load_features,
+)
+from repro.geo.geometry import LineString, MultiPolygon, Point, Polygon
+
+SQUARE = [(-100.0, 35.0), (-99.0, 35.0), (-99.0, 36.0), (-100.0, 36.0)]
+
+
+class TestRoundtrips:
+    def test_point(self):
+        p = Point(-100.5, 35.25)
+        out = geometry_from_geojson(geometry_to_geojson(p))
+        assert out == p
+
+    def test_linestring(self):
+        ls = LineString([(0, 0), (1, 2), (3, 1)])
+        out = geometry_from_geojson(geometry_to_geojson(ls))
+        np.testing.assert_allclose(out.coords, ls.coords)
+
+    def test_polygon(self):
+        p = Polygon(SQUARE)
+        out = geometry_from_geojson(geometry_to_geojson(p))
+        assert out.area_sqm() == pytest.approx(p.area_sqm())
+
+    def test_polygon_with_hole(self):
+        hole = [(-99.7, 35.3), (-99.3, 35.3), (-99.3, 35.7),
+                (-99.7, 35.7)]
+        p = Polygon(SQUARE, holes=[hole])
+        out = geometry_from_geojson(geometry_to_geojson(p))
+        assert len(out.holes) == 1
+        assert out.area_sqm() == pytest.approx(p.area_sqm())
+
+    def test_multipolygon(self):
+        mp = MultiPolygon([Polygon(SQUARE),
+                           Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])])
+        out = geometry_from_geojson(geometry_to_geojson(mp))
+        assert len(out) == 2
+        assert out.area_sqm() == pytest.approx(mp.area_sqm())
+
+
+class TestGeoJSONFormat:
+    def test_polygon_ring_closed(self):
+        gj = geometry_to_geojson(Polygon(SQUARE))
+        ring = gj["coordinates"][0]
+        assert ring[0] == ring[-1]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            geometry_from_geojson({"type": "Wat", "coordinates": []})
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(TypeError):
+            geometry_to_geojson("not a geometry")
+
+    def test_feature_wrapping(self):
+        f = feature(Point(1, 2), {"name": "x"})
+        assert f["type"] == "Feature"
+        assert f["properties"]["name"] == "x"
+
+    def test_feature_collection(self):
+        fc = feature_collection([feature(Point(1, 2))])
+        assert fc["type"] == "FeatureCollection"
+        assert len(fc["features"]) == 1
+
+
+class TestFileIO:
+    def test_dump_load(self, tmp_path):
+        path = tmp_path / "fires.geojson"
+        features = [
+            feature(Polygon(SQUARE), {"name": "FIRE-1", "acres": 100.0}),
+            feature(Point(-100, 35), {"kind": "ignition"}),
+        ]
+        dump_features(features, path)
+        loaded = load_features(path)
+        assert len(loaded) == 2
+        geom, props = loaded[0]
+        assert props["name"] == "FIRE-1"
+        assert isinstance(geom, Polygon)
+
+    def test_load_rejects_non_collection(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        path.write_text('{"type": "Feature"}')
+        with pytest.raises(ValueError):
+            load_features(path)

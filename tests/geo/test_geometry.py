@@ -1,0 +1,197 @@
+"""Tests for repro.geo.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import (
+    BBox,
+    LineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    simplify_ring,
+)
+from repro.geo.projection import meters_per_degree
+
+SQUARE = [(-100.0, 35.0), (-99.0, 35.0), (-99.0, 36.0), (-100.0, 36.0)]
+
+
+class TestBBox:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(1, 0, 0, 1)
+
+    def test_contains(self):
+        box = BBox(-1, -1, 1, 1)
+        assert box.contains(0, 0)
+        assert box.contains(1, 1)  # boundary inclusive
+        assert not box.contains(1.1, 0)
+
+    def test_contains_many(self):
+        box = BBox(-1, -1, 1, 1)
+        got = box.contains_many([0, 2, -1], [0, 0, 1])
+        np.testing.assert_array_equal(got, [True, False, True])
+
+    def test_intersects(self):
+        a = BBox(0, 0, 2, 2)
+        assert a.intersects(BBox(1, 1, 3, 3))
+        assert a.intersects(BBox(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(BBox(2.1, 0, 3, 1))
+
+    def test_union(self):
+        u = BBox(0, 0, 1, 1).union(BBox(2, -1, 3, 0.5))
+        assert (u.min_lon, u.min_lat, u.max_lon, u.max_lat) \
+            == (0, -1, 3, 1)
+
+    def test_expand(self):
+        e = BBox(0, 0, 1, 1).expand(0.5)
+        assert e.min_lon == -0.5 and e.max_lat == 1.5
+
+    def test_center_width_height(self):
+        box = BBox(0, 0, 2, 4)
+        assert box.center == Point(1, 2)
+        assert box.width == 2 and box.height == 4
+
+    def test_of_coords_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BBox.of_coords([], [])
+
+
+class TestLineString:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            LineString([(0, 0)])
+
+    def test_bbox(self):
+        ls = LineString([(0, 0), (2, 1), (1, 3)])
+        assert ls.bbox == BBox(0, 0, 2, 3)
+
+    def test_distance_to(self):
+        ls = LineString([(0, 0), (2, 0)])
+        assert ls.distance_to(1.0, 1.0) == pytest.approx(1.0)
+        assert ls.distance_to(3.0, 0.0) == pytest.approx(1.0)
+
+    def test_immutable_coords(self):
+        ls = LineString([(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            ls.coords[0, 0] = 5.0
+
+
+class TestPolygon:
+    def test_normalizes_winding(self):
+        ccw = Polygon(SQUARE)
+        cw = Polygon(SQUARE[::-1])
+        np.testing.assert_allclose(ccw.exterior, cw.exterior)
+
+    def test_contains(self):
+        p = Polygon(SQUARE)
+        assert p.contains(-99.5, 35.5)
+        assert not p.contains(-98.0, 35.5)
+
+    def test_contains_many_matches_scalar(self):
+        p = Polygon(SQUARE)
+        rng = np.random.default_rng(3)
+        lons = rng.uniform(-101, -98, 500)
+        lats = rng.uniform(34, 37, 500)
+        vec = p.contains_many(lons, lats)
+        for i in range(0, 500, 25):
+            assert vec[i] == p.contains(lons[i], lats[i])
+
+    def test_hole_excluded(self):
+        hole = [(-99.7, 35.3), (-99.3, 35.3), (-99.3, 35.7), (-99.7, 35.7)]
+        p = Polygon(SQUARE, holes=[hole])
+        assert not p.contains(-99.5, 35.5)
+        assert p.contains(-99.9, 35.9)
+        vec = p.contains_many([-99.5, -99.9], [35.5, 35.9])
+        np.testing.assert_array_equal(vec, [False, True])
+
+    def test_area_one_degree_cell(self):
+        p = Polygon(SQUARE)
+        mx, my = meters_per_degree(35.5)
+        assert p.area_sqm() == pytest.approx(mx * my, rel=0.01)
+
+    def test_area_with_hole_subtracted(self):
+        hole = [(-99.75, 35.25), (-99.25, 35.25), (-99.25, 35.75),
+                (-99.75, 35.75)]
+        full = Polygon(SQUARE).area_sqm()
+        holed = Polygon(SQUARE, holes=[hole]).area_sqm()
+        assert holed == pytest.approx(full * 0.75, rel=0.01)
+
+    def test_area_acres_conversion(self):
+        p = Polygon(SQUARE)
+        assert p.area_acres() == pytest.approx(p.area_sqm() / 4046.856,
+                                               rel=1e-6)
+
+    def test_centroid_of_square(self):
+        c = Polygon(SQUARE).centroid()
+        assert c.lon == pytest.approx(-99.5)
+        assert c.lat == pytest.approx(35.5)
+
+    def test_bbox(self):
+        assert Polygon(SQUARE).bbox == BBox(-100, 35, -99, 36)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_simplified_preserves_square(self):
+        p = Polygon(SQUARE)
+        s = p.simplified(0.01)
+        assert len(s.exterior) >= 3
+        assert s.area_sqm() == pytest.approx(p.area_sqm(), rel=0.05)
+
+
+class TestMultiPolygon:
+    def test_requires_polygons(self):
+        with pytest.raises(ValueError):
+            MultiPolygon([])
+
+    def test_contains_any(self):
+        a = Polygon(SQUARE)
+        b = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        mp = MultiPolygon([a, b])
+        assert mp.contains(-99.5, 35.5)
+        assert mp.contains(0.5, 0.5)
+        assert not mp.contains(-50, 10)
+
+    def test_bbox_union(self):
+        a = Polygon(SQUARE)
+        b = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        mp = MultiPolygon([a, b])
+        assert mp.bbox == BBox(-100, 0, 1, 36)
+
+    def test_area_sum(self):
+        a = Polygon(SQUARE)
+        mp = MultiPolygon([a, a])
+        assert mp.area_sqm() == pytest.approx(2 * a.area_sqm())
+
+    def test_contains_many(self):
+        a = Polygon(SQUARE)
+        b = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        mp = MultiPolygon([a, b])
+        got = mp.contains_many([-99.5, 0.5, 10.0], [35.5, 0.5, 10.0])
+        np.testing.assert_array_equal(got, [True, True, False])
+
+
+class TestSimplifyRing:
+    def test_collinear_points_removed(self):
+        ring = [(0, 0), (0.5, 0.0), (1, 0), (1, 1), (0, 1)]
+        out = simplify_ring(ring, 0.01)
+        assert len(out) == 4
+
+    def test_keeps_detail_above_tolerance(self):
+        ring = [(0, 0), (0.5, 0.3), (1, 0), (1, 1), (0, 1)]
+        out = simplify_ring(ring, 0.05)
+        assert len(out) == 5
+
+    def test_zero_tolerance_noop(self):
+        ring = np.array([(0, 0), (0.5, 0.0), (1, 0), (1, 1), (0, 1)],
+                        dtype=float)
+        out = simplify_ring(ring, 0.0)
+        assert len(out) == len(ring)
+
+    def test_minimum_vertices(self):
+        theta = np.linspace(0, 2 * np.pi, 50, endpoint=False)
+        circle = np.column_stack([np.cos(theta), np.sin(theta)])
+        out = simplify_ring(circle, 10.0)  # absurd tolerance
+        assert len(out) >= 3

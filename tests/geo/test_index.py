@@ -1,0 +1,114 @@
+"""Tests for repro.geo.index."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import BBox, Polygon
+from repro.geo.index import STRTree, UniformGridIndex
+
+
+@pytest.fixture()
+def points(rng):
+    lons = rng.uniform(-110, -100, 5000)
+    lats = rng.uniform(30, 40, 5000)
+    return lons, lats
+
+
+@pytest.fixture()
+def index(points):
+    return UniformGridIndex(points[0], points[1], cell_deg=0.5)
+
+
+class TestUniformGridIndex:
+    def test_empty(self):
+        idx = UniformGridIndex(np.array([]), np.array([]))
+        assert len(idx) == 0
+        assert len(idx.query_bbox(BBox(0, 0, 1, 1))) == 0
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(np.zeros(3), np.zeros(4))
+
+    def test_invalid_cell(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(np.zeros(1), np.zeros(1), cell_deg=0)
+
+    def test_query_bbox_matches_bruteforce(self, points, index):
+        lons, lats = points
+        box = BBox(-106, 33, -103, 36)
+        got = set(index.query_bbox(box).tolist())
+        want = set(np.nonzero(box.contains_many(lons, lats))[0].tolist())
+        assert got == want
+
+    def test_query_bbox_disjoint(self, index):
+        assert len(index.query_bbox(BBox(0, 0, 1, 1))) == 0
+
+    def test_query_polygon_matches_bruteforce(self, points, index):
+        lons, lats = points
+        poly = Polygon([(-108, 31), (-102, 33), (-104, 39), (-109, 37)])
+        got = set(index.query_polygon(poly).tolist())
+        want = set(np.nonzero(poly.contains_many(lons, lats))[0].tolist())
+        assert got == want
+
+    def test_query_radius(self, points, index):
+        lons, lats = points
+        got = set(index.query_radius(-105.0, 35.0, 1.0).tolist())
+        d = np.hypot(lons + 105.0, lats - 35.0)
+        want = set(np.nonzero(d <= 1.0)[0].tolist())
+        assert got == want
+
+    def test_all_points_in_full_bbox(self, points, index):
+        lons, lats = points
+        box = BBox(lons.min(), lats.min(), lons.max(), lats.max())
+        assert len(index.query_bbox(box)) == len(lons)
+
+    def test_single_point(self):
+        idx = UniformGridIndex(np.array([-100.0]), np.array([40.0]))
+        assert idx.query_bbox(BBox(-101, 39, -99, 41)).tolist() == [0]
+
+
+class TestSTRTree:
+    def _boxes(self, rng, n=200):
+        out = []
+        for i in range(n):
+            x = rng.uniform(-110, -100)
+            y = rng.uniform(30, 40)
+            w = rng.uniform(0.1, 1.0)
+            h = rng.uniform(0.1, 1.0)
+            out.append((BBox(x, y, x + w, y + h), i))
+        return out
+
+    def test_empty(self):
+        tree = STRTree([])
+        assert tree.query(BBox(0, 0, 1, 1)) == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            STRTree([], node_capacity=1)
+
+    def test_query_matches_bruteforce(self, rng):
+        items = self._boxes(rng)
+        tree = STRTree(items)
+        query = BBox(-106, 33, -104, 36)
+        got = set(tree.query(query))
+        want = {payload for box, payload in items
+                if box.intersects(query)}
+        assert got == want
+
+    def test_query_point(self, rng):
+        items = self._boxes(rng)
+        tree = STRTree(items)
+        got = set(tree.query_point(-105.0, 35.0))
+        want = {payload for box, payload in items
+                if box.contains(-105.0, 35.0)}
+        assert got == want
+
+    def test_single_item(self):
+        tree = STRTree([(BBox(0, 0, 1, 1), "only")])
+        assert tree.query(BBox(0.5, 0.5, 0.6, 0.6)) == ["only"]
+        assert tree.query(BBox(2, 2, 3, 3)) == []
+
+    def test_all_returned_for_huge_query(self, rng):
+        items = self._boxes(rng, n=100)
+        tree = STRTree(items)
+        assert len(tree.query(BBox(-120, 20, -90, 50))) == 100

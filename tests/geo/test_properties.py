@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the geometry engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.buffer import buffer_point
+from repro.geo.geometry import BBox, Polygon, simplify_ring
+from repro.geo.index import UniformGridIndex
+from repro.geo.predicates import points_in_ring, ring_area_signed
+from repro.geo.projection import CONUS_ALBERS, haversine_m
+
+# Strategies -----------------------------------------------------------
+
+conus_lon = st.floats(min_value=-124.0, max_value=-67.0,
+                      allow_nan=False, allow_infinity=False)
+conus_lat = st.floats(min_value=25.0, max_value=49.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def star_rings(draw):
+    """Random star-shaped rings (always simple polygons)."""
+    n = draw(st.integers(min_value=3, max_value=24))
+    cx = draw(st.floats(min_value=-110, max_value=-90))
+    cy = draw(st.floats(min_value=30, max_value=45))
+    radii = draw(st.lists(
+        st.floats(min_value=0.05, max_value=2.0), min_size=n, max_size=n))
+    theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    r = np.asarray(radii)
+    return np.column_stack([cx + r * np.cos(theta),
+                            cy + r * np.sin(theta)])
+
+
+# Projection properties ------------------------------------------------
+
+@given(conus_lon, conus_lat)
+@settings(max_examples=200, deadline=None)
+def test_albers_roundtrip(lon, lat):
+    x, y = CONUS_ALBERS.forward(lon, lat)
+    lon2, lat2 = CONUS_ALBERS.inverse(x, y)
+    assert abs(lon2 - lon) < 1e-8
+    assert abs(lat2 - lat) < 1e-8
+
+
+@given(conus_lon, conus_lat, conus_lon, conus_lat)
+@settings(max_examples=100, deadline=None)
+def test_haversine_symmetry_and_triangle(lon1, lat1, lon2, lat2):
+    d12 = haversine_m(lon1, lat1, lon2, lat2)
+    d21 = haversine_m(lon2, lat2, lon1, lat1)
+    assert abs(d12 - d21) < 1e-6
+    assert d12 >= 0.0
+    # triangle inequality through a midpoint
+    mid_lon = (lon1 + lon2) / 2
+    mid_lat = (lat1 + lat2) / 2
+    via = haversine_m(lon1, lat1, mid_lon, mid_lat) \
+        + haversine_m(mid_lon, mid_lat, lon2, lat2)
+    assert via >= d12 - 1e-6
+
+
+# Geometry properties ---------------------------------------------------
+
+@given(star_rings())
+@settings(max_examples=100, deadline=None)
+def test_polygon_normalization_invariants(ring):
+    p = Polygon(ring)
+    # exterior is CCW after normalization
+    assert ring_area_signed(p.exterior) > 0
+    # centroid of a star polygon is inside its bbox
+    c = p.centroid()
+    assert p.bbox.contains(c.lon, c.lat)
+    # area non-negative
+    assert p.area_sqm() >= 0
+
+
+@given(star_rings())
+@settings(max_examples=60, deadline=None)
+def test_winding_does_not_change_area(ring):
+    a = Polygon(ring).area_sqm()
+    b = Polygon(ring[::-1]).area_sqm()
+    assert abs(a - b) <= 1e-6 * max(a, 1.0)
+
+
+@given(star_rings(), st.floats(min_value=0.001, max_value=0.2))
+@settings(max_examples=60, deadline=None)
+def test_simplify_never_gains_vertices(ring, tol):
+    out = simplify_ring(ring, tol)
+    assert 3 <= len(out) <= len(ring)
+
+
+@given(star_rings())
+@settings(max_examples=60, deadline=None)
+def test_contains_many_matches_scalar(ring):
+    p = Polygon(ring)
+    box = p.bbox.expand(0.5)
+    rng = np.random.default_rng(0)
+    lons = rng.uniform(box.min_lon, box.max_lon, 64)
+    lats = rng.uniform(box.min_lat, box.max_lat, 64)
+    vec = p.contains_many(lons, lats)
+    scalar = np.array([p.contains(lon, lat)
+                       for lon, lat in zip(lons, lats)])
+    # allow disagreement only exactly on edges (measure-zero; the random
+    # draws essentially never land there)
+    assert (vec == scalar).all()
+
+
+@given(star_rings())
+@settings(max_examples=40, deadline=None)
+def test_points_in_ring_subset_of_bbox(ring):
+    box = Polygon(ring).bbox
+    rng = np.random.default_rng(1)
+    lons = rng.uniform(box.min_lon - 1, box.max_lon + 1, 128)
+    lats = rng.uniform(box.min_lat - 1, box.max_lat + 1, 128)
+    inside = points_in_ring(lons, lats, ring)
+    in_box = box.contains_many(lons, lats)
+    assert not (inside & ~in_box).any()
+
+
+# Buffer properties -----------------------------------------------------
+
+@given(conus_lon, conus_lat,
+       st.floats(min_value=100.0, max_value=50_000.0))
+@settings(max_examples=60, deadline=None)
+def test_buffer_point_area_scales(lon, lat, radius):
+    c = buffer_point(lon, lat, radius, n_vertices=64)
+    assert c.area_sqm() == np.pi * radius * radius \
+        * (1 + np.clip(c.area_sqm() / (np.pi * radius * radius) - 1,
+                       -0.05, 0.05))  # within 5% of pi r^2
+
+
+# Index properties -------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=500),
+       st.floats(min_value=0.05, max_value=2.0))
+@settings(max_examples=40, deadline=None)
+def test_grid_index_bbox_query_exact(n, cell):
+    rng = np.random.default_rng(n)
+    lons = rng.uniform(-110, -100, n)
+    lats = rng.uniform(30, 40, n)
+    idx = UniformGridIndex(lons, lats, cell_deg=cell)
+    box = BBox(-107.0, 33.0, -103.0, 37.0)
+    got = set(idx.query_bbox(box).tolist())
+    want = set(np.nonzero(box.contains_many(lons, lats))[0].tolist())
+    assert got == want

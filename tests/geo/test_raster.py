@@ -1,0 +1,161 @@
+"""Tests for repro.geo.raster."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import BBox, Polygon
+from repro.geo.raster import GridSpec, Raster, disk_footprint, rasterize_polygon
+
+
+@pytest.fixture()
+def grid():
+    return GridSpec(BBox(-101.0, 34.0, -98.0, 37.0), 0.1)
+
+
+class TestGridSpec:
+    def test_shape(self, grid):
+        assert grid.shape == (30, 30)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            GridSpec(BBox(0, 0, 1, 1), 0.0)
+
+    def test_rowcol_corners(self, grid):
+        # NW corner cell
+        r, c = grid.rowcol(-100.95, 36.95)
+        assert (int(r), int(c)) == (0, 0)
+        # SE corner cell
+        r, c = grid.rowcol(-98.05, 34.05)
+        assert (int(r), int(c)) == (29, 29)
+
+    def test_cell_center_roundtrip(self, grid):
+        rows = np.array([0, 10, 29])
+        cols = np.array([0, 15, 29])
+        lons, lats = grid.cell_center(rows, cols)
+        r2, c2 = grid.rowcol(lons, lats)
+        np.testing.assert_array_equal(r2, rows)
+        np.testing.assert_array_equal(c2, cols)
+
+    def test_inside(self, grid):
+        rows = np.array([0, -1, 29, 30])
+        cols = np.array([0, 0, 29, 29])
+        np.testing.assert_array_equal(grid.inside(rows, cols),
+                                      [True, False, True, False])
+
+    def test_cell_area_reasonable(self, grid):
+        # 0.1 deg cell at ~35.5N is roughly 10km x 11km
+        area = grid.cell_area_sqm(15)
+        assert 0.8e8 < area < 1.2e8
+
+    def test_cell_areas_decrease_northward(self, grid):
+        areas = grid.cell_areas_sqm()
+        assert areas[0] < areas[-1]  # row 0 is the northernmost
+
+
+class TestRaster:
+    def test_shape_mismatch_rejected(self, grid):
+        with pytest.raises(ValueError):
+            Raster(grid, np.zeros((3, 3)))
+
+    def test_sample_inside_outside(self, grid):
+        r = Raster(grid, fill=7, dtype=np.int32)
+        assert r.sample(-99.5, 35.5) == 7
+        assert r.sample(-200.0, 35.5) == 0
+
+    def test_sample_outside_custom(self, grid):
+        r = Raster(grid, fill=7, dtype=np.int32)
+        assert r.sample(-200.0, 35.5, outside=-1) == -1
+
+    def test_sample_vectorized(self, grid):
+        r = Raster(grid)
+        r.data[0, 0] = 5.0
+        lons, lats = grid.cell_center(np.array([0]), np.array([0]))
+        out = r.sample(np.array([lons[0], -200.0]),
+                       np.array([lats[0], 0.0]))
+        np.testing.assert_allclose(out, [5.0, 0.0])
+
+    def test_class_area(self, grid):
+        r = Raster(grid, fill=0, dtype=np.int8)
+        r.data[:3, :] = 2
+        area = r.class_area_sqm(2)
+        expected = sum(grid.cell_area_sqm(i) * grid.width
+                       for i in range(3))
+        assert area == pytest.approx(expected)
+
+    def test_histogram(self, grid):
+        r = Raster(grid, fill=1, dtype=np.int8)
+        r.data[0, :5] = 3
+        h = r.histogram()
+        assert h[3] == 5
+        assert h[1] == grid.width * grid.height - 5
+
+    def test_dilate_mask_grows(self, grid):
+        r = Raster(grid)
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[15, 15] = True
+        grown = r.dilate_mask(mask, 15_000.0)
+        assert grown.sum() > 1
+        assert grown[15, 15]
+
+    def test_dilate_zero_radius_is_identity_plus_center(self, grid):
+        r = Raster(grid)
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[5, 5] = True
+        grown = r.dilate_mask(mask, 1.0)  # far below one cell
+        assert grown.sum() == 1
+
+    def test_copy_is_independent(self, grid):
+        r = Raster(grid, fill=1.0)
+        r2 = r.copy()
+        r2.data[0, 0] = 99.0
+        assert r.data[0, 0] == 1.0
+
+
+class TestDiskFootprint:
+    def test_center_always_true(self):
+        assert disk_footprint(0.0, 0.0)[0, 0]
+
+    def test_radius_one(self):
+        fp = disk_footprint(1.0, 1.0)
+        assert fp.shape == (3, 3)
+        assert fp[1, 1] and fp[0, 1] and fp[1, 0]
+        assert not fp[0, 0]  # corner is sqrt(2) > 1 away
+
+    def test_anisotropic(self):
+        fp = disk_footprint(3.0, 1.0)
+        assert fp.shape == (3, 7)
+
+
+class TestRasterize:
+    def test_square_cell_count(self, grid):
+        p = Polygon([(-100.0, 35.0), (-99.0, 35.0), (-99.0, 36.0),
+                     (-100.0, 36.0)])
+        mask = rasterize_polygon(grid, p)
+        assert mask.sum() == 100  # 10x10 cells of 0.1 deg
+
+    def test_mask_matches_containment(self, grid):
+        p = Polygon([(-100.3, 34.6), (-99.1, 35.2), (-99.5, 36.4),
+                     (-100.6, 36.0)])
+        mask = rasterize_polygon(grid, p)
+        rows, cols = np.nonzero(mask)
+        lons, lats = grid.cell_center(rows, cols)
+        inside = p.contains_many(lons, lats)
+        assert inside.all()
+
+    def test_hole_respected(self, grid):
+        hole = [(-99.7, 35.3), (-99.3, 35.3), (-99.3, 35.7),
+                (-99.7, 35.7)]
+        p = Polygon([(-100.0, 35.0), (-99.0, 35.0), (-99.0, 36.0),
+                     (-100.0, 36.0)], holes=[hole])
+        mask = rasterize_polygon(grid, p)
+        assert mask.sum() == 100 - 16
+
+    def test_polygon_outside_grid(self, grid):
+        p = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert rasterize_polygon(grid, p).sum() == 0
+
+    def test_partial_overlap_clipped(self, grid):
+        p = Polygon([(-101.5, 34.5), (-100.5, 34.5), (-100.5, 35.5),
+                     (-101.5, 35.5)])
+        mask = rasterize_polygon(grid, p)
+        assert 0 < mask.sum() < 100

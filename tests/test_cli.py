@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["-n", "20000", "--whp-res", "0.1"]
+
+
+def _run(*argv: str) -> str:
+    buffer = io.StringIO()
+    code = main([*ARGS, *argv], stream=buffer)
+    assert code == 0
+    return buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.transceivers == 60_000
+        assert args.command == "fig7"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_table1(self):
+        out = _run("table1")
+        assert "2018" in out and "Paper" in out
+
+    def test_table2(self):
+        assert "AT&T" in _run("table2")
+
+    def test_table3(self):
+        assert "LTE" in _run("table3")
+
+    def test_fig5(self):
+        assert "Oct 28" in _run("fig5")
+
+    def test_fig7(self):
+        out = _run("fig7")
+        assert "Very High" in out and "261,569" in out
+
+    def test_fig8(self):
+        assert "CA" in _run("fig8")
+
+    def test_fig9(self):
+        assert "per 1000" in _run("fig9")
+
+    def test_fig10(self):
+        assert "Very Dense" in _run("fig10")
+
+    def test_fig12(self):
+        assert "Los Angeles" in _run("fig12")
+
+    def test_ecoregions(self):
+        assert "+240%" in _run("ecoregions")
+
+    def test_validate(self):
+        assert "accuracy" in _run("validate", "--oversample", "2")
+
+    def test_extend(self):
+        assert "->" in _run("extend")
+
+    def test_power(self):
+        assert "substations" in _run("power", "--year", "2019")
+
+    def test_coverage(self):
+        assert "coverage" in _run("coverage")
+
+    def test_map(self):
+        out = _run("map", "--figure", "6", "--width", "60")
+        assert len(out.splitlines()) > 5

@@ -1,0 +1,32 @@
+"""Smoke tests for the example scripts.
+
+Each example is compiled and imported (not executed — they build their
+own universes and are exercised manually / in docs).  This catches API
+drift between the library and the examples without the runtime cost.
+"""
+
+import importlib.util
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples")
+                  .glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), path.name
+
+
+def test_at_least_six_examples():
+    assert len(EXAMPLES) >= 6

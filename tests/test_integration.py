@@ -1,0 +1,116 @@
+"""Cross-module integration tests.
+
+These run the paper's pipelines end-to-end on the shared small universe
+and check the relationships *between* results — the consistency
+properties a reader would assume hold across tables and figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    WHPClass,
+    city_very_high_counts,
+    hazard_analysis,
+    historical_analysis,
+    metro_risk_analysis,
+    population_impact_analysis,
+    provider_risk_analysis,
+    technology_risk_analysis,
+    total_in_perimeters,
+    validate_whp_2019,
+)
+from repro.data import small_universe
+
+
+@pytest.fixture(scope="session")
+def universe():
+    return small_universe()
+
+
+@pytest.fixture(scope="module")
+def hazard(universe):
+    return hazard_analysis(universe)
+
+
+class TestCrossTableConsistency:
+    def test_table2_sums_to_figure7(self, universe, hazard):
+        """Provider rows partition the universe, so Table 2 column sums
+        must equal the Figure 7 class counts."""
+        rows = provider_risk_analysis(universe)
+        assert sum(r.moderate for r in rows) \
+            == pytest.approx(hazard.class_counts["Moderate"], abs=5)
+        assert sum(r.very_high for r in rows) \
+            == pytest.approx(hazard.class_counts["Very High"], abs=5)
+
+    def test_table3_sums_to_figure7(self, universe, hazard):
+        """Radio types partition the universe too."""
+        rows = technology_risk_analysis(universe)
+        assert sum(r.moderate for r in rows) \
+            == pytest.approx(hazard.class_counts["Moderate"], abs=5)
+        assert sum(r.high for r in rows) \
+            == pytest.approx(hazard.class_counts["High"], abs=5)
+
+    def test_figure10_bounded_by_figure7(self, universe, hazard):
+        """County-bucketed at-risk counts cannot exceed the national
+        at-risk total."""
+        impact = population_impact_analysis(universe)
+        assert impact.at_risk_in_pop_counties <= hazard.at_risk_total
+
+    def test_metro_totals_bounded(self, universe, hazard):
+        """Metro-assigned at-risk counts are a subset of national."""
+        rows = metro_risk_analysis(universe)
+        assert sum(r.total for r in rows) <= hazard.at_risk_total * 1.01
+
+    def test_city_vh_bounded_by_vh_class(self, universe, hazard):
+        counts = city_very_high_counts(universe)
+        assert sum(counts.values()) \
+            <= hazard.class_counts["Very High"] * 1.01
+
+    def test_state_population_sums(self, hazard):
+        pops = sum(s.population for s in hazard.states)
+        assert 3.1e8 < pops < 3.4e8
+
+
+class TestHeadlineClaims:
+    """The abstract's quantitative claims, as loose shape assertions."""
+
+    def test_states_with_largest_risk(self, hazard):
+        """'California, Florida and Texas as the three states with the
+        largest number of cell transceivers at risk' — allow one
+        neighbor swap at synthetic scale."""
+        top4 = [s.state for s in hazard.states[:4]]
+        assert top4[0] == "CA"
+        assert "FL" in top4
+        assert "TX" in top4[:4] or "AZ" in top4
+
+    def test_over_400k_at_risk(self, hazard):
+        """'over 430,800 cell transceivers are within moderate to very
+        high risk areas'."""
+        assert hazard.at_risk_total > 300_000
+
+    def test_wide_historical_variability(self, universe):
+        rows = historical_analysis(universe)
+        counts = [r.transceivers_in_perimeters_scaled for r in rows]
+        assert max(counts) > 3 * (np.median(counts) + 1)
+
+    def test_27000_in_perimeters(self, universe):
+        total, _ = total_in_perimeters(universe)
+        assert total > 10_000  # paper: >27,000
+
+    def test_validation_misses_exist(self, universe):
+        """§3.4: WHP alone under-predicts in-perimeter infrastructure."""
+        v = validate_whp_2019(universe, oversample=8)
+        assert v.missed > 0
+
+
+class TestDeterminism:
+    def test_analyses_are_deterministic(self, universe):
+        a = hazard_analysis(universe)
+        b = hazard_analysis(universe)
+        assert a.class_counts == b.class_counts
+
+    def test_fire_overlay_deterministic(self, universe):
+        t1, _ = total_in_perimeters(universe)
+        t2, _ = total_in_perimeters(universe)
+        assert t1 == t2

@@ -1,0 +1,165 @@
+"""Tests for the extension modules added beyond the paper's core:
+
+ring self-intersection validation (and the integrity of all embedded
+geometry), wind-elongated fire perimeters, the seed-sensitivity
+harness, county exposure ranking, the per-county DIRS breakdown, and
+the markdown report renderer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.case_study import outage_by_county
+from repro.core.county_exposure import county_exposure_analysis
+from repro.core.export import render_markdown_report, run_all_experiments
+from repro.core.sensitivity import MetricDistribution, seed_sweep
+from repro.data.ecoregions import slc_denver_ecoregions
+from repro.data.states import conus_states
+from repro.data.wildfires import star_polygon
+from repro.geo.predicates import ring_self_intersects
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+class TestGeometryIntegrity:
+    def test_bowtie_detected(self):
+        assert ring_self_intersects([(0, 0), (1, 1), (1, 0), (0, 1)])
+
+    def test_square_clean(self):
+        assert not ring_self_intersects([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+    def test_all_state_polygons_simple(self):
+        """Every embedded state ring is a simple polygon."""
+        bad = []
+        for abbr, state in conus_states().items():
+            for poly in state.geometry:
+                if ring_self_intersects(poly.exterior):
+                    bad.append(abbr)
+        assert not bad, bad
+
+    def test_all_ecoregions_simple(self):
+        for region in slc_denver_ecoregions():
+            assert not ring_self_intersects(region.polygon.exterior), \
+                region.code
+
+    def test_generated_perimeters_simple(self, universe):
+        for fire in universe.fire_season(2012).fires[:40]:
+            assert not ring_self_intersects(fire.polygon.exterior), \
+                fire.name
+
+
+class TestWindElongation:
+    def test_area_preserved(self, rng):
+        iso = star_polygon(-118.0, 34.0, 20_000.0,
+                           np.random.default_rng(1))
+        windy = star_polygon(-118.0, 34.0, 20_000.0,
+                             np.random.default_rng(1),
+                             elongation=3.0, bearing_deg=225.0)
+        assert windy.area_acres() == pytest.approx(iso.area_acres(),
+                                                   rel=0.02)
+
+    def test_stretch_along_bearing(self):
+        rng = np.random.default_rng(2)
+        windy = star_polygon(-118.0, 34.0, 20_000.0, rng,
+                             roughness=0.0, elongation=4.0,
+                             bearing_deg=0.0)  # stretched north-south
+        box = windy.bbox
+        from repro.geo.projection import meters_per_degree
+        mx, my = meters_per_degree(34.0)
+        ns = box.height * my
+        ew = box.width * mx
+        assert ns > 2.5 * ew
+
+    def test_rejects_compression(self, rng):
+        with pytest.raises(ValueError):
+            star_polygon(-118.0, 34.0, 1_000.0, rng, elongation=0.5)
+
+    def test_default_isotropic(self, rng):
+        poly = star_polygon(-118.0, 34.0, 1_000.0, rng)
+        assert poly.area_acres() == pytest.approx(1_000.0, rel=0.02)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return seed_sweep(n_transceivers=10_000, n_seeds=2,
+                          validation_oversample=2)
+
+    def test_seeds_distinct(self, report):
+        assert len(set(report.seeds)) == 2
+
+    def test_metrics_present(self, report):
+        assert set(report.metrics) == {
+            "at_risk_total", "very_high", "in_perimeters",
+            "validation_accuracy_pct"}
+
+    def test_at_risk_stable(self, report):
+        """The calibrated headline metric varies little across seeds."""
+        assert report.metrics["at_risk_total"].rel_std < 0.2
+
+    def test_top_state_recorded(self, report):
+        assert len(report.top_state_per_seed) == 2
+        assert all(s for s in report.top_state_per_seed)
+
+    def test_render(self, report):
+        out = report.render()
+        assert "at-risk total" in out and "seeds" in out
+
+    def test_distribution_math(self):
+        d = MetricDistribution("x", (10.0, 20.0))
+        assert d.mean == 15.0
+        assert d.std == 5.0
+        assert d.rel_std == pytest.approx(1 / 3)
+
+
+class TestCountyExposure:
+    @pytest.fixture(scope="class")
+    def rows(self, universe):
+        return county_exposure_analysis(universe, top_n=25)
+
+    def test_sorted(self, rows):
+        values = [r.transceiver_exposures for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_years_touched_bounds(self, rows):
+        for r in rows:
+            assert 1 <= r.years_touched <= 19
+
+    def test_exposures_positive(self, rows):
+        assert all(r.transceiver_exposures > 0 for r in rows)
+
+    def test_fire_states_dominate(self, rows):
+        """Exposed counties come overwhelmingly from fire country."""
+        from repro.data.states import SOUTHEASTERN_STATES, WESTERN_STATES
+        fire_states = WESTERN_STATES | SOUTHEASTERN_STATES | {"TX", "OK"}
+        share = sum(r.state in fire_states for r in rows) / len(rows)
+        assert share > 0.6
+
+
+class TestOutageByCounty:
+    def test_ranked_output(self, universe):
+        rows = outage_by_county(universe)
+        assert rows
+        values = [v for _, v in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_california_counties(self, universe):
+        """The DIRS event affects only the activation region (CA)."""
+        counties = universe.counties
+        for name, _ in outage_by_county(universe):
+            county = counties.by_name(name)
+            assert county.state == "CA", name
+
+
+class TestMarkdownReport:
+    def test_renders_sections(self, universe):
+        doc = run_all_experiments(universe, validation_oversample=2)
+        md = render_markdown_report(doc)
+        for heading in ("Figure 7", "Table 1", "S3.4", "S3.8",
+                        "Table 2", "S3.6"):
+            assert heading in md
+        assert "261,569" in md  # paper anchor embedded

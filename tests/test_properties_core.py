@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) on core data structures.
+
+These exercise invariants across randomized parameters rather than
+fixed fixtures: fire-size rescaling, star-polygon areas, county
+categorization, DIRS accounting, raster dilation monotonicity, and the
+escape model's probability algebra.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.escape import EscapeModel
+from repro.data.counties import PopCategory, categorize_population
+from repro.data.wildfires import _pareto_sizes, star_polygon
+from repro.geo.geometry import BBox
+from repro.geo.raster import GridSpec, Raster, disk_footprint
+
+
+# Fire sizes -------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=2000),
+       st.floats(min_value=1e4, max_value=1e7),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_pareto_sizes_sum_exact(n, total, seed):
+    rng = np.random.default_rng(seed)
+    sizes = _pareto_sizes(n, total, rng)
+    assert len(sizes) == n
+    assert abs(sizes.sum() - total) < 1e-6 * total
+    assert (sizes > 0).all()
+
+
+@given(st.floats(min_value=100.0, max_value=200_000.0),
+       st.floats(min_value=-120.0, max_value=-80.0),
+       st.floats(min_value=28.0, max_value=47.0),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_star_polygon_area_invariant(acres, lon, lat, seed):
+    rng = np.random.default_rng(seed)
+    poly = star_polygon(lon, lat, acres, rng)
+    assert abs(poly.area_acres() - acres) <= 0.05 * acres
+    assert poly.contains(lon, lat)
+
+
+# County categorization ---------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=20_000_000))
+@settings(max_examples=200, deadline=None)
+def test_categorize_population_monotone(pop):
+    cat = categorize_population(pop)
+    bigger = categorize_population(pop + 100_000)
+    assert int(bigger) >= int(cat)
+
+
+@given(st.integers(min_value=0, max_value=20_000_000))
+@settings(max_examples=100, deadline=None)
+def test_categorize_population_total(pop):
+    assert categorize_population(pop) in PopCategory
+
+
+# Raster dilation ---------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=19),
+       st.integers(min_value=0, max_value=19),
+       st.floats(min_value=100.0, max_value=60_000.0))
+@settings(max_examples=60, deadline=None)
+def test_dilation_is_extensive_and_monotone(row, col, radius):
+    grid = GridSpec(BBox(-101.0, 34.0, -99.0, 36.0), 0.1)
+    raster = Raster(grid)
+    mask = np.zeros(grid.shape, dtype=bool)
+    mask[row, col] = True
+    grown = raster.dilate_mask(mask, radius)
+    # extensive: contains the original
+    assert grown[row, col]
+    assert (grown | mask).sum() == grown.sum()
+    # monotone in radius
+    bigger = raster.dilate_mask(mask, radius * 2 + 1)
+    assert (bigger | grown).sum() == bigger.sum()
+
+
+@given(st.floats(min_value=0.0, max_value=6.0),
+       st.floats(min_value=0.0, max_value=6.0))
+@settings(max_examples=60, deadline=None)
+def test_disk_footprint_symmetry(rx, ry):
+    fp = disk_footprint(rx, ry)
+    assert fp[fp.shape[0] // 2, fp.shape[1] // 2]
+    np.testing.assert_array_equal(fp, fp[::-1, :])
+    np.testing.assert_array_equal(fp, fp[:, ::-1])
+
+
+# Escape model ------------------------------------------------------------
+
+@given(st.floats(min_value=0.2, max_value=1.5),
+       st.floats(min_value=10.0, max_value=1000.0))
+@settings(max_examples=60, deadline=None)
+def test_escape_exceedance_bounds(alpha, s_min):
+    model = EscapeModel(alpha=alpha, s_min_acres=s_min,
+                        s_max_acres=s_min * 1000)
+    sizes = np.geomspace(s_min / 2, s_min * 2000, 30)
+    probs = [model.exceedance(float(s)) for s in sizes]
+    assert all(0.0 <= p <= 1.0 for p in probs)
+    assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+
+@given(st.floats(min_value=100.0, max_value=1e6))
+@settings(max_examples=60, deadline=None)
+def test_escape_radius_roundtrip(acres):
+    model = EscapeModel()
+    r = model.radius_m(acres)
+    assert abs(np.pi * r * r - acres * 4046.8564224) \
+        <= 1e-6 * acres * 4046.8564224

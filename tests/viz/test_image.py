@@ -1,0 +1,87 @@
+"""Tests for repro.viz.image (PPM export)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import BBox
+from repro.viz.image import (
+    WHP_PALETTE,
+    class_image,
+    density_image,
+    save_class_image,
+    save_density_image,
+    write_ppm,
+)
+
+
+@pytest.fixture(scope="session")
+def universe():
+    from repro.data import small_universe
+    return small_universe()
+
+
+class TestWritePpm:
+    def test_header_and_size(self, tmp_path):
+        pixels = np.zeros((4, 6, 3), dtype=np.uint8)
+        path = tmp_path / "img.ppm"
+        write_ppm(pixels, path)
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n6 4\n255\n")
+        assert len(data) == len(b"P6\n6 4\n255\n") + 4 * 6 * 3
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(np.zeros((4, 6)), tmp_path / "x.ppm")
+
+    def test_clips_out_of_range(self, tmp_path):
+        pixels = np.full((2, 2, 3), 300.0)
+        path = tmp_path / "img.ppm"
+        write_ppm(pixels, path)
+        body = path.read_bytes().split(b"255\n", 1)[1]
+        assert set(body) == {255}
+
+
+class TestClassImage:
+    def test_palette_applied(self):
+        data = np.array([[0, 5], [3, 4]], dtype=np.int8)
+        pixels = class_image(data, WHP_PALETTE)
+        assert tuple(pixels[0, 1]) == WHP_PALETTE[5]
+        assert tuple(pixels[1, 0]) == WHP_PALETTE[3]
+
+    def test_unmapped_background(self):
+        data = np.array([[99]])
+        pixels = class_image(data, WHP_PALETTE, background=(1, 2, 3))
+        assert tuple(pixels[0, 0]) == (1, 2, 3)
+
+
+class TestDensityImage:
+    def test_hot_cell_brighter(self):
+        lons = np.array([-100.0] * 50 + [-95.0])
+        lats = np.array([35.0] * 51)
+        pixels = density_image(lons, lats, BBox(-110, 30, -90, 40),
+                               width=50)
+        # the crowded cell is brighter than the single-point cell
+        assert int(pixels.max()) > int(pixels.min())
+
+    def test_empty_is_background(self):
+        pixels = density_image(np.array([]), np.array([]),
+                               BBox(-110, 30, -90, 40), width=20)
+        assert (pixels == pixels[0, 0]).all()
+
+
+class TestSavers:
+    def test_save_whp_map(self, universe, tmp_path):
+        whp = universe.whp
+        path = save_class_image(whp.raster.data, whp.grid,
+                                tmp_path / "whp.ppm")
+        assert path.exists()
+        assert path.read_bytes().startswith(b"P6\n")
+
+    def test_save_transceiver_map(self, universe, tmp_path):
+        cells = universe.cells
+        path = save_density_image(cells.lons, cells.lats,
+                                  universe.population.grid.bbox,
+                                  tmp_path / "cells.ppm", width=300)
+        assert path.exists()
+        header = path.read_bytes()[:20].decode("ascii", "ignore")
+        assert "300" in header
