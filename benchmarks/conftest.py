@@ -1,4 +1,4 @@
-"""Benchmark fixtures.
+"""Benchmark fixtures and the machine-readable timing report.
 
 Benchmarks run at a larger scale than tests (150k transceivers,
 0.05-degree WHP grid) and print each reproduced table/figure next to the
@@ -7,13 +7,30 @@ paper's numbers; the printed output is the source for EXPERIMENTS.md.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Every benchmark session also writes ``BENCH_runtime.json`` at the repo
+root: per-stage wall times, index/cache counters, the runtime config
+(workers, chunk size, cache state), and any named measurements recorded
+via :func:`record_timing` — the perf trajectory future PRs diff against.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.data import SyntheticUS, default_universe
+from repro.runtime import STATS, get_config
+
+#: Named measurements (section -> payload) merged into BENCH_runtime.json.
+RUNTIME_BENCH: dict[str, dict] = {}
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_runtime.json"
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +49,41 @@ def print_result(title: str, body: str) -> None:
     """Uniform section printing for the benchmark harness."""
     print(f"\n===== {title} =====")
     print(body)
+
+
+def record_timing(section: str, **payload) -> None:
+    """Record a named measurement for ``BENCH_runtime.json``."""
+    RUNTIME_BENCH[section] = payload
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Dump the session's runtime stats as machine-readable JSON."""
+    cfg = get_config()
+    snapshot = STATS.snapshot()
+    counters = snapshot["counters"]
+    report = {
+        "schema": "bench-runtime/1",
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "workers": cfg.workers,
+            "chunk_size": cfg.chunk_size,
+            "cache_enabled": cfg.cache_enabled,
+            "cache_dir": str(cfg.cache_dir) if cfg.cache_dir else None,
+        },
+        "stages_seconds": snapshot["timers"],
+        "stage_calls": snapshot["timer_calls"],
+        "counters": counters,
+        "cache": {
+            "hits": counters.get("cache.hits", 0),
+            "misses": counters.get("cache.misses", 0),
+            "disk_hits": counters.get("cache.disk_hits", 0),
+        },
+        "sections": RUNTIME_BENCH,
+    }
+    try:
+        BENCH_JSON_PATH.write_text(json.dumps(report, indent=2,
+                                              sort_keys=True) + "\n")
+    except OSError:
+        pass

@@ -1,0 +1,147 @@
+"""Runtime benchmark: serial vs parallel vs warm-cache spatial joins.
+
+Measures the three execution modes of the join engine on the
+benchmark-scale universe and records machine-readable timings into
+``BENCH_runtime.json`` (via :func:`conftest.record_timing`) so future
+PRs have a perf trajectory.  Equivalence of every mode is asserted —
+the speed paths must not move a bit.
+"""
+
+import os
+import time
+
+from conftest import print_result, record_timing
+
+from repro.cli import main as cli_main
+from repro.core.overlay import classify_cells, overlay_fires
+from repro.runtime import (
+    ResultCache,
+    configure,
+    get_config,
+    set_cache,
+    set_config,
+)
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def test_runtime_overlay_modes(universe):
+    """Serial cold vs parallel cold vs warm cache on one season."""
+    fires = universe.fire_season(2017).fires
+    cells = universe.cells
+    cells.index()                     # pre-built, as analyses see it
+    workers = int(os.environ.get("REPRO_WORKERS", "4"))
+
+    serial, serial_s = _timed(
+        overlay_fires, cells, fires, year=2017, workers=1,
+        use_cache=False)
+    parallel, parallel_s = _timed(
+        overlay_fires, cells, fires, year=2017, workers=workers,
+        chunk_size=32_768, use_cache=False)
+
+    set_cache(ResultCache(max_entries=64))
+    try:
+        _, cold_cache_s = _timed(
+            overlay_fires, cells, fires, year=2017, workers=1,
+            use_cache=True)
+        warm, warm_s = _timed(
+            overlay_fires, cells, fires, year=2017, workers=1,
+            use_cache=True)
+    finally:
+        set_cache(None)
+
+    assert (serial.in_perimeter_mask == parallel.in_perimeter_mask).all()
+    assert (serial.in_perimeter_mask == warm.in_perimeter_mask).all()
+    assert serial.per_fire_counts == parallel.per_fire_counts \
+        == warm.per_fire_counts
+
+    record_timing(
+        "overlay_2017",
+        n_points=len(cells), n_fires=len(fires), workers=workers,
+        serial_s=serial_s, parallel_s=parallel_s,
+        cold_cache_s=cold_cache_s, warm_cache_s=warm_s,
+        warm_speedup=serial_s / max(warm_s, 1e-9))
+    print_result(
+        "RUNTIME — overlay modes",
+        f"serial {serial_s:.3f}s | parallel(x{workers}) {parallel_s:.3f}s"
+        f" | warm cache {warm_s * 1000:.1f}ms "
+        f"({serial_s / max(warm_s, 1e-9):,.0f}x)")
+    assert warm_s < serial_s, "warm cache must beat recomputation"
+
+
+def test_runtime_classify_modes(universe):
+    """The WHP raster-sampling join across the same three modes."""
+    cells = universe.cells
+    workers = int(os.environ.get("REPRO_WORKERS", "4"))
+
+    serial, serial_s = _timed(
+        classify_cells, cells, universe.whp, workers=1, use_cache=False)
+    parallel, parallel_s = _timed(
+        classify_cells, cells, universe.whp, workers=workers,
+        chunk_size=32_768, use_cache=False)
+    set_cache(ResultCache(max_entries=64))
+    try:
+        classify_cells(cells, universe.whp, workers=1, use_cache=True)
+        warm, warm_s = _timed(
+            classify_cells, cells, universe.whp, workers=1,
+            use_cache=True)
+    finally:
+        set_cache(None)
+
+    assert (serial == parallel).all()
+    assert (serial == warm).all()
+    record_timing(
+        "classify_whp",
+        n_points=len(cells), workers=workers, serial_s=serial_s,
+        parallel_s=parallel_s, warm_cache_s=warm_s)
+    print_result(
+        "RUNTIME — classify modes",
+        f"serial {serial_s:.3f}s | parallel(x{workers}) {parallel_s:.3f}s"
+        f" | warm cache {warm_s * 1000:.1f}ms")
+
+
+def test_runtime_repro_all_cold_vs_warm(tmp_path):
+    """`python -m repro all` cold vs warm cache (the §2.3 hot path).
+
+    The warm pass re-runs the identical CLI invocation against the
+    populated cache — what a user iterating on figures experiences.
+    Output equality doubles as an end-to-end differential check.
+    """
+    import io
+
+    workers = os.environ.get("REPRO_WORKERS", "4")
+    args = ["-n", "20000", "--whp-res", "0.1",
+            "--workers", workers, "--cache-dir", str(tmp_path), "all"]
+
+    previous = get_config()
+    set_cache(None)
+    try:
+        cold_out = io.StringIO()
+        t0 = time.perf_counter()
+        assert cli_main(args, stream=cold_out) == 0
+        cold_s = time.perf_counter() - t0
+
+        warm_out = io.StringIO()
+        t0 = time.perf_counter()
+        assert cli_main(args, stream=warm_out) == 0
+        warm_s = time.perf_counter() - t0
+    finally:
+        set_config(previous)
+        set_cache(None)
+
+    assert warm_out.getvalue() == cold_out.getvalue(), \
+        "cached run must print identical results"
+    record_timing(
+        "repro_all",
+        n="20000", workers=int(workers), cold_s=cold_s, warm_s=warm_s,
+        speedup=cold_s / max(warm_s, 1e-9))
+    print_result(
+        "RUNTIME — repro all",
+        f"cold {cold_s:.2f}s -> warm {warm_s:.2f}s "
+        f"({cold_s / max(warm_s, 1e-9):.1f}x with warm cache, "
+        f"workers={workers})")
+    assert warm_s < cold_s, "warm cache must be measurably faster"

@@ -14,7 +14,7 @@ Quickstart::
     print(summary.class_counts)
 """
 
-from . import core, data, geo
+from . import core, data, geo, runtime
 from .core import (
     case_study_analysis,
     coverage_loss_analysis,
@@ -48,7 +48,7 @@ from .data import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "geo", "data", "core",
+    "geo", "data", "core", "runtime",
     "SyntheticUS", "UniverseConfig", "CellUniverse", "WHPClass",
     "default_universe", "small_universe",
     "historical_analysis", "total_in_perimeters", "case_study_analysis",

@@ -10,6 +10,12 @@ Reproduce any of the paper's tables and figures from a shell::
 
 Counts are printed both raw and rescaled to the paper's 5,364,949-
 transceiver universe; every command prints the paper's number alongside.
+
+Runtime knobs (see docs/runtime.md): ``--workers`` shards the spatial
+joins across processes (or set ``REPRO_WORKERS``), ``--no-cache``
+disables result memoization, ``--cache-dir`` adds an on-disk cache tier
+that survives runs, and ``--stats`` prints per-stage wall times and
+index/cache counters after the command.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import runtime
 from .core import report
 from .data import SyntheticUS, UniverseConfig
 
@@ -32,6 +39,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=20_190_722)
     parser.add_argument("--whp-res", type=float, default=0.1,
                         help="WHP grid resolution in degrees")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for spatial joins "
+                             "(default: $REPRO_WORKERS or 1 = serial)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="points per parallel work unit")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the spatial-join result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache "
+                             "(default: memory-only; $REPRO_CACHE_DIR)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print runtime perf counters after the run")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="historical analysis (Table 1)")
@@ -73,6 +92,24 @@ def _universe(args: argparse.Namespace) -> SyntheticUS:
         seed=args.seed,
         whp_resolution_deg=args.whp_res,
     ))
+
+
+def _configure_runtime(args: argparse.Namespace) -> None:
+    """Apply CLI runtime flags to the global execution-layer config."""
+    from pathlib import Path
+
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.chunk_size is not None:
+        overrides["chunk_size"] = args.chunk_size
+    if args.no_cache:
+        overrides["cache_enabled"] = False
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = Path(args.cache_dir)
+    if overrides:
+        runtime.configure(**overrides)
+        runtime.set_cache(None)   # rebuild the cache from the new config
 
 
 def _run_command(command: str, args: argparse.Namespace,
@@ -151,13 +188,19 @@ def main(argv: list[str] | None = None, stream=None) -> int:
     def out(text: str) -> None:
         print(text, file=stream)
 
+    _configure_runtime(args)
     universe = _universe(args)
     if args.command == "all":
         for command in ("table1", "table2", "table3", "fig5", "fig7",
                         "fig8", "fig9", "fig10", "fig12", "ecoregions",
                         "validate", "extend", "power", "coverage"):
             out(f"\n===== {command} =====")
-            _run_command(command, args, universe, out)
+            with runtime.STATS.timer(f"cli.{command}"):
+                _run_command(command, args, universe, out)
     else:
-        _run_command(args.command, args, universe, out)
+        with runtime.STATS.timer(f"cli.{args.command}"):
+            _run_command(args.command, args, universe, out)
+    if args.stats:
+        out("")
+        out(report.render_stats(runtime.STATS.snapshot()))
     return 0

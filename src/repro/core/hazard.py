@@ -15,6 +15,7 @@ import numpy as np
 from ..data.states import StateAssigner, conus_states
 from ..data.universe import SyntheticUS
 from ..data.whp import AT_RISK_CLASSES, WHP_CLASS_NAMES, WHPClass
+from ..runtime.stats import STATS
 from .overlay import classify_cells
 
 __all__ = ["HazardSummary", "StateHazard", "hazard_analysis",
@@ -97,25 +98,27 @@ def hazard_analysis(universe: SyntheticUS) -> HazardSummary:
         class_counts_raw[WHP_CLASS_NAMES[whp_class]] = raw
         class_counts[WHP_CLASS_NAMES[whp_class]] = int(round(raw * scale))
 
-    assigner = StateAssigner()
-    state_of = assigner.assign_many(cells.lons, cells.lats)
-    states = []
-    for abbr, state in conus_states().items():
-        in_state = state_of == abbr
-        if not in_state.any():
-            counts = {c: 0 for c in AT_RISK_CLASSES}
-        else:
-            sub = classes[in_state]
-            counts = {c: int(round((sub == int(c)).sum() * scale))
-                      for c in AT_RISK_CLASSES}
-        states.append(StateHazard(
-            state=abbr,
-            moderate=counts[WHPClass.MODERATE],
-            high=counts[WHPClass.HIGH],
-            very_high=counts[WHPClass.VERY_HIGH],
-            population=state.population,
-        ))
-    states.sort(key=lambda s: s.total, reverse=True)
+    with STATS.timer("hazard.state_assignment"):
+        assigner = StateAssigner()
+        state_of = assigner.assign_many(cells.lons, cells.lats)
+    with STATS.timer("hazard.state_aggregation"):
+        states = []
+        for abbr, state in conus_states().items():
+            in_state = state_of == abbr
+            if not in_state.any():
+                counts = {c: 0 for c in AT_RISK_CLASSES}
+            else:
+                sub = classes[in_state]
+                counts = {c: int(round((sub == int(c)).sum() * scale))
+                          for c in AT_RISK_CLASSES}
+            states.append(StateHazard(
+                state=abbr,
+                moderate=counts[WHPClass.MODERATE],
+                high=counts[WHPClass.HIGH],
+                very_high=counts[WHPClass.VERY_HIGH],
+                population=state.population,
+            ))
+        states.sort(key=lambda s: s.total, reverse=True)
     return HazardSummary(class_counts=class_counts,
                          class_counts_raw=class_counts_raw,
                          states=states,

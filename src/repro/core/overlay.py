@@ -5,20 +5,41 @@ This is the computational heart of the paper's methodology (§2.3):
 of all historical wildfires".  The engine joins a point universe against
 polygon sets using the uniform-grid index (bbox candidates, then exact
 point-in-polygon), and against rasters by vectorized sampling.
+
+Execution is delegated to :mod:`repro.runtime`: the point universe is
+sharded into contiguous chunks mapped over worker processes
+(``REPRO_WORKERS``), and results are memoized in a content-addressed
+cache keyed by the inputs' bytes.  Both paths are bit-identical to the
+serial single-chunk join — chunk predicates are exact per-point tests
+and chunk results concatenate in order; ``tests/runtime/`` holds the
+differential proof.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..data.cells import CellUniverse
-from ..data.wildfires import FirePerimeter
 from ..data.whp import WhpModel
+from ..data.wildfires import FirePerimeter
+from ..geo.index import UniformGridIndex
+from ..runtime import (
+    cache_key,
+    chunk_spans,
+    get_cache,
+    get_config,
+    parallel_map,
+)
+from ..runtime.stats import STATS
 
 __all__ = ["FireOverlayResult", "overlay_fires", "overlay_fires_bruteforce",
-           "classify_cells"]
+           "classify_cells", "fires_token"]
+
+#: Default grid-index bucket size, matching :meth:`CellUniverse.index`.
+_INDEX_CELL_DEG = 0.25
 
 
 @dataclass
@@ -39,14 +60,119 @@ class FireOverlayResult:
         return int(round(self.n_in_perimeter * universe_scale))
 
 
+def fires_token(fires: list[FirePerimeter]) -> bytes:
+    """Content digest of a fire list (names, years, ring bytes)."""
+    h = hashlib.sha256()
+    for fire in fires:
+        h.update(fire.name.encode())
+        h.update(str(fire.year).encode())
+        h.update(fire.polygon.exterior.tobytes())
+        for hole in fire.polygon.holes:
+            h.update(hole.tobytes())
+    return h.digest()
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing.  State is installed once per worker by the
+# pool initializer (inherited copy-on-write under fork), so tasks are
+# just (start, stop) spans.
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: tuple | None = None
+
+
+def _init_overlay_worker(lons, lats, fires, cell_deg) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (lons, lats, fires, cell_deg)
+
+
+def _overlay_chunk(span: tuple[int, int]):
+    """Join one contiguous point chunk against every fire."""
+    start, stop = span
+    lons, lats, fires, cell_deg = _WORKER_STATE
+    before = STATS.snapshot()
+    index = UniformGridIndex(lons[start:stop], lats[start:stop], cell_deg)
+    mask = np.zeros(stop - start, dtype=bool)
+    counts = np.zeros(len(fires), dtype=np.int64)
+    for i, fire in enumerate(fires):
+        hits = index.query_polygon(fire.polygon)
+        counts[i] = len(hits)
+        mask[hits] = True
+    return mask, counts, STATS.delta_since(before)
+
+
+def _init_classify_worker(lons, lats, whp) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (lons, lats, whp)
+
+
+def _classify_chunk(span: tuple[int, int]):
+    start, stop = span
+    lons, lats, whp = _WORKER_STATE
+    before = STATS.snapshot()
+    classes = whp.classify(lons[start:stop], lats[start:stop])
+    return classes, STATS.delta_since(before)
+
+
+# ----------------------------------------------------------------------
+# Public joins
+# ----------------------------------------------------------------------
+
 def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
-                  year: int | None = None) -> FireOverlayResult:
+                  year: int | None = None, *,
+                  workers: int | None = None,
+                  chunk_size: int | None = None,
+                  use_cache: bool | None = None) -> FireOverlayResult:
     """Join transceivers against fire perimeters using the grid index.
 
     A transceiver inside any perimeter counts once in the mask; per-fire
     counts can overlap (two fires covering one transceiver both count it,
     exactly as a per-fire tally would).
+
+    ``workers``/``chunk_size``/``use_cache`` override the global
+    :class:`repro.runtime.RuntimeConfig` for this call.
     """
+    cfg = get_config()
+    if workers is None:
+        workers = cfg.workers
+    if chunk_size is None:
+        chunk_size = cfg.chunk_size
+    if use_cache is None:
+        use_cache = cfg.cache_enabled
+    resolved_year = year if year is not None else (
+        fires[0].year if fires else 0)
+
+    key = None
+    if use_cache:
+        key = cache_key(b"overlay_fires/v1", cells.content_token(),
+                        fires_token(fires), resolved_year)
+        entry = get_cache().get(key)
+        if entry is not None:
+            return _decode_overlay(entry)
+
+    with STATS.timer("overlay_fires"):
+        eff_workers = _effective(workers, len(cells), chunk_size)
+        if eff_workers > 1:
+            result = _overlay_parallel(cells, fires, resolved_year,
+                                       eff_workers, chunk_size)
+        else:
+            result = _overlay_serial(cells, fires, resolved_year)
+
+    if use_cache and key is not None:
+        get_cache().put(key, _encode_overlay(result))
+    return result
+
+
+def _effective(workers: int, n_points: int, chunk_size: int) -> int:
+    from ..runtime.config import MIN_PARALLEL_POINTS
+    if workers <= 1 or n_points < MIN_PARALLEL_POINTS:
+        return 1
+    n_chunks = -(-n_points // chunk_size)
+    return max(1, min(workers, n_chunks))
+
+
+def _overlay_serial(cells: CellUniverse, fires: list[FirePerimeter],
+                    year: int) -> FireOverlayResult:
     index = cells.index()
     mask = np.zeros(len(cells), dtype=bool)
     per_fire: dict[str, int] = {}
@@ -54,12 +180,29 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
         hits = index.query_polygon(fire.polygon)
         per_fire[fire.name] = len(hits)
         mask[hits] = True
-    return FireOverlayResult(
-        year=year if year is not None else (fires[0].year if fires else 0),
-        n_fires=len(fires),
-        in_perimeter_mask=mask,
-        per_fire_counts=per_fire,
-    )
+    return FireOverlayResult(year=year, n_fires=len(fires),
+                             in_perimeter_mask=mask,
+                             per_fire_counts=per_fire)
+
+
+def _overlay_parallel(cells: CellUniverse, fires: list[FirePerimeter],
+                      year: int, workers: int,
+                      chunk_size: int) -> FireOverlayResult:
+    spans = chunk_spans(len(cells), chunk_size)
+    chunks = parallel_map(
+        _overlay_chunk, spans, workers,
+        initializer=_init_overlay_worker,
+        initargs=(cells.lons, cells.lats, fires, _INDEX_CELL_DEG))
+    mask = np.concatenate([c[0] for c in chunks]) if chunks \
+        else np.zeros(0, dtype=bool)
+    counts = np.zeros(len(fires), dtype=np.int64)
+    for _, chunk_counts, delta in chunks:
+        counts += chunk_counts
+        STATS.merge(delta)
+    per_fire = {fire.name: int(counts[i]) for i, fire in enumerate(fires)}
+    return FireOverlayResult(year=year, n_fires=len(fires),
+                             in_perimeter_mask=mask,
+                             per_fire_counts=per_fire)
 
 
 def overlay_fires_bruteforce(cells: CellUniverse,
@@ -68,7 +211,7 @@ def overlay_fires_bruteforce(cells: CellUniverse,
     """Reference implementation without the spatial index.
 
     Used by tests (equivalence oracle) and by the ablation benchmark that
-    quantifies what the index buys.
+    quantifies what the index buys.  Never parallel, never cached.
     """
     mask = np.zeros(len(cells), dtype=bool)
     per_fire: dict[str, int] = {}
@@ -84,6 +227,72 @@ def overlay_fires_bruteforce(cells: CellUniverse,
     )
 
 
-def classify_cells(cells: CellUniverse, whp: WhpModel) -> np.ndarray:
-    """WHP class code per transceiver (vectorized raster sampling)."""
-    return whp.classify(cells.lons, cells.lats)
+def classify_cells(cells: CellUniverse, whp: WhpModel, *,
+                   workers: int | None = None,
+                   chunk_size: int | None = None,
+                   use_cache: bool | None = None) -> np.ndarray:
+    """WHP class code per transceiver (vectorized raster sampling).
+
+    Sharded over worker processes for large universes and memoized like
+    :func:`overlay_fires`; the sampling itself is exact per point, so
+    every path returns identical codes.
+    """
+    cfg = get_config()
+    if workers is None:
+        workers = cfg.workers
+    if chunk_size is None:
+        chunk_size = cfg.chunk_size
+    if use_cache is None:
+        use_cache = cfg.cache_enabled
+
+    key = None
+    if use_cache:
+        key = cache_key(b"classify_cells/v1", cells.content_token(),
+                        whp.content_token())
+        entry = get_cache().get(key)
+        if entry is not None:
+            return entry["classes"]
+
+    with STATS.timer("classify_cells"):
+        eff_workers = _effective(workers, len(cells), chunk_size)
+        if eff_workers > 1:
+            spans = chunk_spans(len(cells), chunk_size)
+            chunks = parallel_map(
+                _classify_chunk, spans, eff_workers,
+                initializer=_init_classify_worker,
+                initargs=(cells.lons, cells.lats, whp))
+            for _, delta in chunks:
+                STATS.merge(delta)
+            classes = np.concatenate([c[0] for c in chunks])
+        else:
+            classes = whp.classify(cells.lons, cells.lats)
+
+    if use_cache and key is not None:
+        get_cache().put(key, {"classes": classes})
+    return classes
+
+
+# ----------------------------------------------------------------------
+# Cache payload encoding
+# ----------------------------------------------------------------------
+
+def _encode_overlay(result: FireOverlayResult) -> dict:
+    names = list(result.per_fire_counts)
+    return {
+        "mask": result.in_perimeter_mask,
+        "counts": np.array([result.per_fire_counts[n] for n in names],
+                           dtype=np.int64),
+        "names": np.array(names, dtype=np.str_),
+        "meta": np.array([result.year, result.n_fires], dtype=np.int64),
+    }
+
+
+def _decode_overlay(entry: dict) -> FireOverlayResult:
+    names = [str(n) for n in entry["names"]]
+    counts = entry["counts"]
+    return FireOverlayResult(
+        year=int(entry["meta"][0]),
+        n_fires=int(entry["meta"][1]),
+        in_perimeter_mask=np.asarray(entry["mask"], dtype=bool),
+        per_fire_counts={n: int(c) for n, c in zip(names, counts)},
+    )

@@ -24,6 +24,7 @@ from .validation import ValidationResult
 
 __all__ = [
     "format_table",
+    "render_stats",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -53,6 +54,40 @@ def format_table(headers: Sequence[str],
     for row in rows:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_stats(snapshot: dict) -> str:
+    """Render a runtime perf snapshot (``--stats``) as monospace tables.
+
+    ``snapshot`` is :meth:`repro.runtime.PerfRegistry.snapshot` output:
+    per-stage wall times plus index/cache/parallel counters.
+    """
+    timers = snapshot.get("timers", {})
+    calls = snapshot.get("timer_calls", {})
+    counters = snapshot.get("counters", {})
+
+    stage_rows = [[stage, f"{timers[stage]:.3f}", calls.get(stage, 1)]
+                  for stage in sorted(timers, key=timers.get,
+                                      reverse=True)]
+    if not stage_rows:
+        stage_rows = [["(none timed)", "-", "-"]]
+    out = ["-- runtime stats --",
+           format_table(["Stage", "Seconds", "Calls"], stage_rows)]
+
+    counter_rows = [[name, f"{counters[name]:,}"]
+                    for name in sorted(counters)]
+    hits, misses = counters.get("cache.hits", 0), \
+        counters.get("cache.misses", 0)
+    if hits + misses:
+        counter_rows.append(["cache hit rate",
+                             f"{hits / (hits + misses):.1%}"])
+    cand = counters.get("index.candidates", 0)
+    if cand:
+        counter_rows.append(["index selectivity",
+                             f"{counters.get('index.hits', 0) / cand:.1%}"])
+    if counter_rows:
+        out.append(format_table(["Counter", "Value"], counter_rows))
+    return "\n".join(out)
 
 
 def render_table1(rows: list[Table1Row]) -> str:

@@ -21,6 +21,7 @@ loaded instead.
 from __future__ import annotations
 
 import csv
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -58,6 +59,7 @@ class CellUniverse:
     provider_group: np.ndarray  # int8 index into PROVIDER_GROUPS
     radio: np.ndarray         # int8 RadioType code
     _index: UniformGridIndex | None = field(default=None, repr=False)
+    _token: bytes | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.lons)
@@ -79,6 +81,22 @@ class CellUniverse:
         if self._index is None or self._index.cell_deg != cell_deg:
             self._index = UniformGridIndex(self.lons, self.lats, cell_deg)
         return self._index
+
+    def content_token(self) -> bytes:
+        """Digest of the universe's coordinates (computed once).
+
+        The runtime result cache keys spatial joins by this token:
+        universes generated from different seeds, sizes or placement
+        parameters hash to different tokens because their coordinate
+        bytes differ, while the same configuration always re-hashes to
+        the same token.
+        """
+        if self._token is None:
+            h = hashlib.sha256()
+            for arr in (self.lons, self.lats):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            self._token = h.digest()
+        return self._token
 
     def group_names(self) -> np.ndarray:
         """Provider group name per transceiver."""

@@ -84,6 +84,10 @@ class WhpModel:
     def grid(self) -> GridSpec:
         return self.raster.grid
 
+    def content_token(self) -> bytes:
+        """Digest of the class raster (delegates to the raster payload)."""
+        return self.raster.content_token()
+
     def classify(self, lons, lats) -> np.ndarray:
         """WHP class codes at the given points (NON_BURNABLE outside)."""
         return self.raster.sample(lons, lats,

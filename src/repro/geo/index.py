@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..runtime.stats import STATS
 from .geometry import BBox, MultiPolygon, Polygon
 
 __all__ = ["UniformGridIndex", "STRTree"]
@@ -84,7 +85,11 @@ class UniformGridIndex:
             return np.empty(0, dtype=np.int64)
         cand = np.concatenate(chunks)
         keep = bbox.contains_many(self.lons[cand], self.lats[cand])
-        return cand[keep]
+        out = cand[keep]
+        STATS.count("index.bbox_queries")
+        STATS.count("index.candidates", len(cand))
+        STATS.count("index.hits", len(out))
+        return out
 
     def query_polygon(self, polygon: Polygon | MultiPolygon) -> np.ndarray:
         """Indices of points inside the polygon (exact, holes respected)."""
@@ -92,7 +97,11 @@ class UniformGridIndex:
         if len(cand) == 0:
             return cand
         keep = polygon.contains_many(self.lons[cand], self.lats[cand])
-        return cand[keep]
+        out = cand[keep]
+        STATS.count("index.polygon_queries")
+        STATS.count("index.pip_tests", len(cand))
+        STATS.count("index.pip_hits", len(out))
+        return out
 
     def query_radius(self, lon: float, lat: float, radius_deg: float) \
             -> np.ndarray:
@@ -162,15 +171,20 @@ class STRTree:
         if self._root is None:
             return []
         out: list = []
+        visited = 0
         stack = [self._root]
         while stack:
             node = stack.pop()
+            visited += 1
             if not node.bbox.intersects(bbox):
                 continue
             if node.children is None:
                 out.append(node.items)
             else:
                 stack.extend(node.children)
+        STATS.count("strtree.queries")
+        STATS.count("strtree.nodes_visited", visited)
+        STATS.count("strtree.results", len(out))
         return out
 
     def query_point(self, lon: float, lat: float) -> list:

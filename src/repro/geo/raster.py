@@ -13,12 +13,14 @@ GeoTIFF).  ``transform`` maps (col, row) pixel *centers* to lon/lat.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 from scipy import ndimage
 
+from ..runtime.stats import STATS
 from .geometry import BBox, Polygon
 from .projection import CONUS_ALBERS, meters_per_degree, sqmeters_to_acres
 
@@ -108,6 +110,21 @@ class Raster:
     def copy(self) -> "Raster":
         return Raster(self.grid, self.data.copy())
 
+    def content_token(self) -> bytes:
+        """Digest of the grid geometry and cell payload.
+
+        Used by the runtime result cache to key joins by raster
+        *content*, so any change to resolution, extent or values maps to
+        a different cache entry.
+        """
+        h = hashlib.sha256()
+        b = self.grid.bbox
+        h.update(repr((b.min_lon, b.min_lat, b.max_lon, b.max_lat,
+                       self.grid.res)).encode())
+        h.update(str(self.data.dtype).encode())
+        h.update(self.data.tobytes())
+        return h.digest()
+
     def sample(self, lons, lats, outside=None):
         """Sample raster values at lon/lat points (vectorized).
 
@@ -124,6 +141,7 @@ class Raster:
             outside = np.zeros(1, dtype=self.data.dtype)[0]
         out = np.full(lons.shape, outside, dtype=self.data.dtype)
         out[ok] = self.data[rows[ok], cols[ok]]
+        STATS.count("raster.samples", lons.size)
         if scalar:
             return out[0]
         return out

@@ -1,0 +1,36 @@
+"""Execution layer for the spatial-join engine.
+
+``repro.runtime`` makes the paper's hot path — point-universe ×
+fire-perimeter/raster joins, repeated for every table and figure — run
+as fast as the machine allows without changing a single result bit:
+
+* :mod:`.parallel` — chunked point partitions mapped over worker
+  processes (``REPRO_WORKERS``), with a guaranteed serial fallback;
+* :mod:`.cache` — a content-addressed in-memory + on-disk result cache
+  keyed by the inputs' bytes, so identical joins are computed once;
+* :mod:`.stats` — per-stage wall times and candidate/hit/cache counters
+  behind the CLI ``--stats`` report;
+* :mod:`.config` — the process-global knobs wiring it together.
+
+The differential suite in ``tests/runtime/`` proves parallel == serial
+== bruteforce on randomized universes.
+"""
+
+from .cache import ResultCache, array_token, cache_key, get_cache, set_cache
+from .config import (
+    RuntimeConfig,
+    configure,
+    default_cache_dir,
+    get_config,
+    set_config,
+)
+from .parallel import chunk_spans, parallel_map
+from .stats import STATS, PerfRegistry
+
+__all__ = [
+    "RuntimeConfig", "get_config", "set_config", "configure",
+    "default_cache_dir",
+    "ResultCache", "cache_key", "array_token", "get_cache", "set_cache",
+    "chunk_spans", "parallel_map",
+    "STATS", "PerfRegistry",
+]

@@ -1,0 +1,126 @@
+"""Lightweight perf instrumentation for the spatial-join runtime.
+
+A process-global :class:`PerfRegistry` accumulates wall-time per named
+stage and monotonic counters (index candidates/hits, raster samples,
+cache hits/misses).  The hot paths pay one dict update per event; the
+registry renders to a human-readable report (``--stats``) and to a
+machine-readable snapshot (``BENCH_runtime.json``).
+
+This module must stay import-light (stdlib only): it is imported by the
+innermost geometry loops and by worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PerfRegistry", "STATS"]
+
+
+class PerfRegistry:
+    """Accumulates per-stage wall times and named counters."""
+
+    def __init__(self):
+        self._timers: dict[str, float] = {}
+        self._timer_calls: dict[str, int] = {}
+        self._counters: dict[str, int] = {}
+
+    # -- timers --------------------------------------------------------
+
+    @contextmanager
+    def timer(self, stage: str):
+        """Accumulate wall-clock seconds spent in the ``with`` body."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._timers[stage] = self._timers.get(stage, 0.0) + elapsed
+            self._timer_calls[stage] = self._timer_calls.get(stage, 0) + 1
+
+    def add_time(self, stage: str, seconds: float, calls: int = 1) -> None:
+        self._timers[stage] = self._timers.get(stage, 0.0) + float(seconds)
+        self._timer_calls[stage] = self._timer_calls.get(stage, 0) + calls
+
+    # -- counters ------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def seconds(self, stage: str) -> float:
+        return self._timers.get(stage, 0.0)
+
+    # -- aggregation ---------------------------------------------------
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry (e.g. a worker
+        process) into this one."""
+        for stage, secs in snapshot.get("timers", {}).items():
+            self.add_time(stage, secs,
+                          snapshot.get("timer_calls", {}).get(stage, 1))
+        for name, n in snapshot.get("counters", {}).items():
+            self.count(name, n)
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable copy of the current state."""
+        return {
+            "timers": dict(self._timers),
+            "timer_calls": dict(self._timer_calls),
+            "counters": dict(self._counters),
+        }
+
+    def delta_since(self, before: dict) -> dict:
+        """Snapshot of activity since an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {
+            "timers": {k: v - before["timers"].get(k, 0.0)
+                       for k, v in now["timers"].items()
+                       if v - before["timers"].get(k, 0.0) > 0.0},
+            "timer_calls": {k: v - before["timer_calls"].get(k, 0)
+                            for k, v in now["timer_calls"].items()
+                            if v - before["timer_calls"].get(k, 0) > 0},
+            "counters": {k: v - before["counters"].get(k, 0)
+                         for k, v in now["counters"].items()
+                         if v - before["counters"].get(k, 0) > 0},
+        }
+
+    def reset(self) -> None:
+        self._timers.clear()
+        self._timer_calls.clear()
+        self._counters.clear()
+
+    # -- reporting -----------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable report for the CLI ``--stats`` flag."""
+        lines = ["perf: stage wall times"]
+        if not self._timers:
+            lines.append("  (no stages timed)")
+        for stage in sorted(self._timers):
+            calls = self._timer_calls.get(stage, 1)
+            lines.append(f"  {stage:<32s} {self._timers[stage]:9.3f}s"
+                         f"  ({calls} call{'s' if calls != 1 else ''})")
+        lines.append("perf: counters")
+        if not self._counters:
+            lines.append("  (no counters)")
+        for name in sorted(self._counters):
+            lines.append(f"  {name:<32s} {self._counters[name]:>12,d}")
+        hits = self.get("cache.hits")
+        misses = self.get("cache.misses")
+        if hits + misses:
+            lines.append(f"  {'cache hit rate':<32s} "
+                         f"{hits / (hits + misses):>11.1%}")
+        cand = self.get("index.candidates")
+        kept = self.get("index.hits")
+        if cand:
+            lines.append(f"  {'index selectivity':<32s} "
+                         f"{kept / cand:>11.1%}")
+        return "\n".join(lines)
+
+
+#: Process-global registry used by the package's hot paths.
+STATS = PerfRegistry()

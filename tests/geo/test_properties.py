@@ -5,8 +5,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.geo.buffer import buffer_point
 from repro.geo.geometry import BBox, Polygon, simplify_ring
-from repro.geo.index import UniformGridIndex
-from repro.geo.predicates import points_in_ring, ring_area_signed
+from repro.geo.index import STRTree, UniformGridIndex
+from repro.geo.predicates import (
+    point_in_ring,
+    points_in_ring,
+    ring_area_signed,
+)
 from repro.geo.projection import CONUS_ALBERS, haversine_m
 
 # Strategies -----------------------------------------------------------
@@ -140,4 +144,65 @@ def test_grid_index_bbox_query_exact(n, cell):
     box = BBox(-107.0, 33.0, -103.0, 37.0)
     got = set(idx.query_bbox(box).tolist())
     want = set(np.nonzero(box.contains_many(lons, lats))[0].tolist())
+    assert got == want
+
+
+# Predicate properties (point-in-polygon correctness) --------------------
+
+@given(star_rings(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_points_in_ring_matches_scalar_predicate(ring, seed):
+    """The vectorized crossing test agrees with the scalar one."""
+    box = Polygon(ring).bbox.expand(0.5)
+    rng = np.random.default_rng(seed)
+    lons = rng.uniform(box.min_lon, box.max_lon, 96)
+    lats = rng.uniform(box.min_lat, box.max_lat, 96)
+    vec = points_in_ring(lons, lats, ring)
+    # point_in_ring additionally treats exact-boundary points as inside;
+    # random draws land on edges with probability zero, so any
+    # disagreement is a real bug.
+    scalar = np.array([point_in_ring(lon, lat, ring)
+                       for lon, lat in zip(lons, lats)])
+    assert (vec == scalar).all()
+
+
+@given(star_rings(), st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=0.05, max_value=1.5))
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_grid_index_polygon_query_exact(ring, seed, cell):
+    """Every index hit is a true hit; no true hit is missed.
+
+    The oracle is the exhaustive scan (``contains_many`` over all
+    points) — exactly the bruteforce side of the runtime differential
+    suite, here driven by random polygons and bucket sizes.
+    """
+    polygon = Polygon(ring)
+    rng = np.random.default_rng(seed)
+    box = polygon.bbox.expand(1.0)
+    lons = rng.uniform(box.min_lon, box.max_lon, 300)
+    lats = rng.uniform(box.min_lat, box.max_lat, 300)
+    idx = UniformGridIndex(lons, lats, cell_deg=cell)
+    got = set(idx.query_polygon(polygon).tolist())
+    want = set(np.nonzero(polygon.contains_many(lons, lats))[0].tolist())
+    assert got - want == set(), "index returned a false hit"
+    assert want - got == set(), "index missed a true hit"
+
+
+@given(st.integers(min_value=1, max_value=120),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_strtree_query_matches_exhaustive_scan(n, seed):
+    """STRTree returns exactly the bboxes an exhaustive scan finds."""
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for i in range(n):
+        lon = rng.uniform(-120, -70)
+        lat = rng.uniform(25, 48)
+        w = rng.uniform(0.01, 4.0)
+        h = rng.uniform(0.01, 4.0)
+        boxes.append((BBox(lon, lat, lon + w, lat + h), i))
+    tree = STRTree(boxes)
+    query = BBox(-105.0, 33.0, -95.0, 41.0)
+    got = set(tree.query(query))
+    want = {payload for bbox, payload in boxes if bbox.intersects(query)}
     assert got == want

@@ -1,0 +1,174 @@
+"""Differential tests: parallel == serial == bruteforce.
+
+The runtime's optimization contract is that the sharded/parallel and
+cached paths are *bit-identical* to the serial bruteforce reference on
+any input.  These tests enforce it on randomized universes across
+seeds × worker counts × chunk sizes, including the degenerate inputs
+(empty fire list, single-point universe) where chunking logic usually
+breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.overlay import (
+    classify_cells,
+    overlay_fires,
+    overlay_fires_bruteforce,
+)
+from repro.data.cells import CellUniverse
+from repro.data.wildfires import FirePerimeter, star_polygon
+from repro.runtime import config as runtime_config
+
+
+@pytest.fixture(autouse=True)
+def _small_parallel_floor(monkeypatch):
+    """Let tiny test universes exercise the real parallel path."""
+    monkeypatch.setattr(runtime_config, "MIN_PARALLEL_POINTS", 64)
+
+
+def random_universe(seed: int, n: int) -> CellUniverse:
+    """A bare point universe clustered where the fires will be."""
+    rng = np.random.default_rng(seed)
+    lons = rng.uniform(-112.0, -104.0, n)
+    lats = rng.uniform(33.0, 41.0, n)
+    return CellUniverse(
+        lons=lons, lats=lats,
+        site_ids=np.arange(n, dtype=np.int64),
+        mcc=np.full(n, 310, dtype=np.int32),
+        mnc=np.zeros(n, dtype=np.int32),
+        provider_group=np.zeros(n, dtype=np.int8),
+        radio=np.zeros(n, dtype=np.int8),
+    )
+
+
+def random_fires(seed: int, k: int, year: int = 2018) -> list[FirePerimeter]:
+    """Irregular star perimeters inside the universe's extent."""
+    rng = np.random.default_rng(seed + 1000)
+    fires = []
+    for i in range(k):
+        lon = rng.uniform(-111.0, -105.0)
+        lat = rng.uniform(34.0, 40.0)
+        acres = float(rng.uniform(50_000, 2_000_000))
+        poly = star_polygon(lon, lat, acres, rng)
+        fires.append(FirePerimeter(
+            name=f"Fire-{seed}-{i}", year=year, start_doy=150 + i,
+            end_doy=160 + i, acres=acres, polygon=poly))
+    return fires
+
+
+def assert_identical(a, b):
+    """Masks and per-fire counts agree exactly."""
+    assert a.in_perimeter_mask.dtype == b.in_perimeter_mask.dtype
+    assert (a.in_perimeter_mask == b.in_perimeter_mask).all()
+    assert a.per_fire_counts == b.per_fire_counts
+    assert a.year == b.year
+    assert a.n_fires == b.n_fires
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("chunk_size", [333, 1024, 10_000])
+def test_overlay_matches_bruteforce(seed, workers, chunk_size):
+    cells = random_universe(seed, 3_000)
+    fires = random_fires(seed, 5)
+    reference = overlay_fires_bruteforce(cells, fires, year=2018)
+    assert reference.n_in_perimeter > 0, "fires must actually hit points"
+    result = overlay_fires(cells, fires, year=2018, workers=workers,
+                           chunk_size=chunk_size, use_cache=False)
+    assert_identical(result, reference)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_overlay_empty_fire_list(workers):
+    cells = random_universe(7, 500)
+    result = overlay_fires(cells, [], year=2001, workers=workers,
+                           chunk_size=128, use_cache=False)
+    reference = overlay_fires_bruteforce(cells, [], year=2001)
+    assert_identical(result, reference)
+    assert result.n_in_perimeter == 0
+    assert result.per_fire_counts == {}
+    assert result.year == 2001
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_overlay_single_point(workers):
+    fires = random_fires(3, 4)
+    # One point dead-center in the first fire, one far outside any.
+    inside = fires[0].polygon.centroid()
+    for lon, lat, expect in ((inside.lon, inside.lat, None),
+                             (-80.0, 27.0, 0)):
+        cells = random_universe(0, 1)
+        cells.lons[:] = lon
+        cells.lats[:] = lat
+        reference = overlay_fires_bruteforce(cells, fires, year=2018)
+        result = overlay_fires(cells, fires, year=2018, workers=workers,
+                               chunk_size=64, use_cache=False)
+        assert_identical(result, reference)
+        if expect is not None:
+            assert result.n_in_perimeter == expect
+
+
+def test_overlay_chunk_boundaries_do_not_leak():
+    """Chunk size 1 (every point its own work unit) still matches."""
+    cells = random_universe(11, 150)
+    fires = random_fires(11, 3)
+    reference = overlay_fires_bruteforce(cells, fires, year=2018)
+    result = overlay_fires(cells, fires, year=2018, workers=2,
+                           chunk_size=1, use_cache=False)
+    assert_identical(result, reference)
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_cached_result_identical(seed, workers, tmp_path):
+    """Cold compute, memory hit, and disk hit all return the same bits."""
+    from repro.runtime import ResultCache, set_cache
+
+    cells = random_universe(seed, 2_000)
+    fires = random_fires(seed, 4)
+    reference = overlay_fires_bruteforce(cells, fires, year=2018)
+
+    set_cache(ResultCache(max_entries=32, disk_dir=tmp_path))
+    try:
+        cold = overlay_fires(cells, fires, year=2018, workers=workers,
+                             chunk_size=512, use_cache=True)
+        warm = overlay_fires(cells, fires, year=2018, workers=workers,
+                             chunk_size=512, use_cache=True)
+        assert_identical(cold, reference)
+        assert_identical(warm, reference)
+        # Fresh memory tier forces the disk tier to serve the hit.
+        set_cache(ResultCache(max_entries=32, disk_dir=tmp_path))
+        disk = overlay_fires(cells, fires, year=2018, workers=workers,
+                             chunk_size=512, use_cache=True)
+        assert_identical(disk, reference)
+    finally:
+        set_cache(None)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("chunk_size", [200, 4096])
+def test_classify_matches_serial(universe, workers, chunk_size):
+    """Sharded raster sampling equals the plain vectorized sample."""
+    cells = universe.cells
+    reference = universe.whp.classify(cells.lons, cells.lats)
+    got = classify_cells(cells, universe.whp, workers=workers,
+                         chunk_size=chunk_size, use_cache=False)
+    assert got.dtype == reference.dtype
+    assert (got == reference).all()
+
+
+def test_overlay_on_real_universe_seasons(universe):
+    """The synthetic-US fire seasons join identically on every path."""
+    cells = universe.cells
+    for year in (2018, 2019):
+        fires = universe.fire_season(year).fires
+        reference = overlay_fires_bruteforce(cells, fires, year=year)
+        serial = overlay_fires(cells, fires, year=year, workers=1,
+                               use_cache=False)
+        parallel = overlay_fires(cells, fires, year=year, workers=4,
+                                 chunk_size=4_096, use_cache=False)
+        assert_identical(serial, reference)
+        assert_identical(parallel, reference)

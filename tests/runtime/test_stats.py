@@ -1,0 +1,132 @@
+"""Tests for perf instrumentation and its reports."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.report import render_stats
+from repro.runtime import PerfRegistry, STATS, chunk_spans, parallel_map
+
+
+class TestPerfRegistry:
+    def test_timer_accumulates_and_counts_calls(self):
+        reg = PerfRegistry()
+        for _ in range(3):
+            with reg.timer("stage"):
+                pass
+        snap = reg.snapshot()
+        assert snap["timer_calls"]["stage"] == 3
+        assert snap["timers"]["stage"] >= 0.0
+
+    def test_counter_accumulates(self):
+        reg = PerfRegistry()
+        reg.count("hits", 5)
+        reg.count("hits")
+        assert reg.get("hits") == 6
+
+    def test_merge_folds_worker_snapshot(self):
+        parent = PerfRegistry()
+        parent.count("index.candidates", 10)
+        parent.add_time("overlay", 1.0)
+        worker = PerfRegistry()
+        worker.count("index.candidates", 7)
+        worker.add_time("overlay", 0.5, calls=2)
+        parent.merge(worker.snapshot())
+        assert parent.get("index.candidates") == 17
+        assert abs(parent.seconds("overlay") - 1.5) < 1e-9
+
+    def test_delta_since(self):
+        reg = PerfRegistry()
+        reg.count("a", 1)
+        before = reg.snapshot()
+        reg.count("a", 4)
+        reg.count("b", 2)
+        delta = reg.delta_since(before)
+        assert delta["counters"] == {"a": 4, "b": 2}
+
+    def test_reset(self):
+        reg = PerfRegistry()
+        reg.count("x")
+        with reg.timer("t"):
+            pass
+        reg.reset()
+        assert reg.snapshot() == {"timers": {}, "timer_calls": {},
+                                  "counters": {}}
+
+    def test_snapshot_is_json_serializable(self):
+        reg = PerfRegistry()
+        reg.count("x", 3)
+        with reg.timer("t"):
+            pass
+        json.dumps(reg.snapshot())
+
+    def test_render_mentions_stages_and_counters(self):
+        reg = PerfRegistry()
+        reg.add_time("overlay_fires", 0.25)
+        reg.count("cache.hits", 3)
+        reg.count("cache.misses", 1)
+        reg.count("index.candidates", 100)
+        reg.count("index.hits", 25)
+        text = reg.render()
+        assert "overlay_fires" in text
+        assert "cache.hits" in text
+        assert "75.0%" in text       # cache hit rate
+        assert "25.0%" in text       # index selectivity
+
+
+class TestRenderStats:
+    def test_renders_tables(self):
+        snap = {"timers": {"overlay_fires": 1.5, "classify_cells": 0.2},
+                "timer_calls": {"overlay_fires": 19, "classify_cells": 3},
+                "counters": {"cache.hits": 8, "cache.misses": 2,
+                             "index.candidates": 1000, "index.hits": 10}}
+        text = render_stats(snap)
+        assert "overlay_fires" in text and "1.500" in text
+        assert "cache hit rate" in text and "80.0%" in text
+        assert "index selectivity" in text and "1.0%" in text
+
+    def test_empty_snapshot(self):
+        text = render_stats({})
+        assert "none timed" in text
+
+
+class TestInstrumentationHooks:
+    def test_index_queries_count(self, universe):
+        from repro.geo.geometry import BBox
+
+        index = universe.cells.index()
+        before = STATS.get("index.bbox_queries")
+        index.query_bbox(BBox(-120.0, 33.0, -115.0, 38.0))
+        assert STATS.get("index.bbox_queries") == before + 1
+
+    def test_raster_sampling_counts(self, universe):
+        n = 257
+        before = STATS.get("raster.samples")
+        universe.whp.raster.sample(np.full(n, -105.0), np.full(n, 39.0))
+        assert STATS.get("raster.samples") == before + n
+
+    def test_parallel_counters(self):
+        spans = chunk_spans(100, 10)
+        got = parallel_map(_double, spans, workers=2)
+        assert got == [(a * 2, b * 2) for a, b in spans]
+        # pool path or fallback, exactly one of the two counters moved
+        assert STATS.get("parallel.pool_runs") + \
+            STATS.get("parallel.fallbacks") >= 1
+
+
+def _double(span):
+    return (span[0] * 2, span[1] * 2)
+
+
+class TestChunkSpans:
+    def test_partition_covers_range_exactly(self):
+        spans = chunk_spans(10, 3)
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_empty(self):
+        assert chunk_spans(0, 5) == []
+
+    def test_single_chunk(self):
+        assert chunk_spans(4, 100) == [(0, 4)]
