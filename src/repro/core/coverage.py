@@ -143,23 +143,36 @@ def _coverage_mask(pop, site_lons, site_lats, radii_m) -> np.ndarray:
     """
     grid = pop.grid
     covered = np.zeros(grid.shape, dtype=bool)
-    for lon, lat, radius in zip(site_lons, site_lats, radii_m):
-        mx, my = meters_per_degree(float(lat))
-        rlon = radius / mx
-        rlat = radius / my
-        row0, col0 = grid.rowcol(lon - rlon, lat + rlat)
-        row1, col1 = grid.rowcol(lon + rlon, lat - rlat)
-        row0 = max(int(row0), 0)
-        col0 = max(int(col0), 0)
-        row1 = min(int(row1), grid.height - 1)
-        col1 = min(int(col1), grid.width - 1)
+    site_lons = np.asarray(site_lons, dtype=float)
+    site_lats = np.asarray(site_lats, dtype=float)
+    radii_m = np.asarray(radii_m, dtype=float)
+    # Ellipse radii and grid windows for every site at once; the loop
+    # below only stamps footprints.
+    _, m_lat = meters_per_degree(0.0)
+    m_lon = m_lat * np.cos(np.radians(site_lats))
+    rlons = radii_m / m_lon
+    rlats = radii_m / m_lat
+    rows0, cols0 = grid.rowcol(site_lons - rlons, site_lats + rlats)
+    rows1, cols1 = grid.rowcol(site_lons + rlons, site_lats - rlats)
+    for lon, lat, rlon, rlat, row0, col0, row1, col1 in zip(
+            site_lons.tolist(), site_lats.tolist(), rlons.tolist(),
+            rlats.tolist(), rows0.tolist(), cols0.tolist(),
+            rows1.tolist(), cols1.tolist()):
+        row0 = max(row0, 0)
+        col0 = max(col0, 0)
+        row1 = min(row1, grid.height - 1)
+        col1 = min(col1, grid.width - 1)
         if row0 > row1 or col0 > col1:
             continue
         rows = np.arange(row0, row1 + 1)
         cols = np.arange(col0, col1 + 1)
-        cmesh, rmesh = np.meshgrid(cols, rows)
-        clons, clats = grid.cell_center(rmesh, cmesh)
-        inside = (((clons - lon) / rlon) ** 2
-                  + ((clats - lat) / rlat) ** 2) <= 1.0
+        # The grid is separable (lon depends on col only, lat on row
+        # only), so the ellipse test is an outer sum of two 1-D terms —
+        # no meshgrid, no 2-D center arrays.
+        clons, _ = grid.cell_center(0, cols)
+        _, clats = grid.cell_center(rows, 0)
+        u = ((clons - lon) / rlon) ** 2
+        v = ((clats - lat) / rlat) ** 2
+        inside = (u[None, :] + v[:, None]) <= 1.0
         covered[row0:row1 + 1, col0:col1 + 1] |= inside
     return covered

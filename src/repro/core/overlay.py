@@ -6,19 +6,32 @@ of all historical wildfires".  The engine joins a point universe against
 polygon sets using the uniform-grid index (bbox candidates, then exact
 point-in-polygon), and against rasters by vectorized sampling.
 
-Execution is delegated to :mod:`repro.runtime`: the point universe is
-sharded into contiguous chunks mapped over worker processes
-(``REPRO_WORKERS``), and results are memoized in a content-addressed
-cache keyed by the inputs' bytes.  Both paths are bit-identical to the
-serial single-chunk join — chunk predicates are exact per-point tests
-and chunk results concatenate in order; ``tests/runtime/`` holds the
-differential proof.
+Execution is delegated to :mod:`repro.runtime`:
+
+* the adaptive dispatcher (:mod:`repro.runtime.dispatch`) estimates the
+  work of each join and stays serial below the measured crossover, so
+  requesting workers can never make a join slower;
+* above the crossover, the perimeter overlay shards **by fire** over a
+  persistent worker pool (:mod:`repro.runtime.pool`).  Workers hold the
+  full point universe and build the grid index **once**, on first use,
+  then reuse it for every fire of every season of a 19-year sweep; a
+  task ships only a slice of the fire list and returns per-fire counts
+  plus global hit indices;
+* results are memoized in a content-addressed cache keyed by the
+  inputs' bytes.
+
+Every path is bit-identical to the serial join: each fire is evaluated
+by exactly one worker running the same full-universe index query the
+serial loop runs, per-fire counts are reassembled in fire order, and
+the mask is the union of exact global hit indices.  ``tests/runtime/``
+holds the differential proof.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -29,9 +42,11 @@ from ..geo.index import UniformGridIndex
 from ..runtime import (
     cache_key,
     chunk_spans,
+    classify_workers,
     get_cache,
     get_config,
-    parallel_map,
+    overlay_workers,
+    run_tasks,
 )
 from ..runtime.stats import STATS
 
@@ -40,6 +55,10 @@ __all__ = ["FireOverlayResult", "overlay_fires", "overlay_fires_bruteforce",
 
 #: Default grid-index bucket size, matching :meth:`CellUniverse.index`.
 _INDEX_CELL_DEG = 0.25
+
+#: Fire-slices per worker and pool run.  More slices than workers keeps
+#: the pool load-balanced when perimeter sizes vary wildly (they do).
+_FIRE_SLICES_PER_WORKER = 4
 
 
 @dataclass
@@ -60,57 +79,96 @@ class FireOverlayResult:
         return int(round(self.n_in_perimeter * universe_scale))
 
 
-def fires_token(fires: list[FirePerimeter]) -> bytes:
-    """Content digest of a fire list (names, years, ring bytes)."""
-    h = hashlib.sha256()
-    for fire in fires:
+# Per-perimeter content digests, memoized for the life of the fire
+# object.  Keyed weakly so discarded seasons do not pin their digests;
+# FirePerimeter is frozen, so content cannot drift under the memo.
+_FIRE_TOKENS: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _fire_token(fire: FirePerimeter) -> bytes:
+    token = _FIRE_TOKENS.get(fire)
+    if token is None:
+        h = hashlib.sha256()
         h.update(fire.name.encode())
         h.update(str(fire.year).encode())
         h.update(fire.polygon.exterior.tobytes())
         for hole in fire.polygon.holes:
             h.update(hole.tobytes())
+        token = h.digest()
+        _FIRE_TOKENS[fire] = token
+    return token
+
+
+def fires_token(fires: list[FirePerimeter]) -> bytes:
+    """Content digest of a fire list (names, years, ring bytes).
+
+    Per-fire digests are memoized, so the 19-year historical sweep stops
+    re-hashing megabytes of ring coordinates on every overlay call.
+    """
+    h = hashlib.sha256()
+    for fire in fires:
+        h.update(_fire_token(fire))
     return h.digest()
 
 
 # ----------------------------------------------------------------------
-# Worker-process plumbing.  State is installed once per worker by the
-# pool initializer (inherited copy-on-write under fork), so tasks are
-# just (start, stop) spans.
+# Worker-process plumbing.  The pool initializer installs the point
+# universe once per worker (inherited copy-on-write under fork); the
+# grid index is built lazily on the first task and reused for every
+# subsequent task of every subsequent call — the pool itself persists
+# across overlay_fires calls (see repro.runtime.pool).
 # ----------------------------------------------------------------------
 
-_WORKER_STATE: tuple | None = None
+_WORKER_STATE: dict | None = None
 
 
-def _init_overlay_worker(lons, lats, fires, cell_deg) -> None:
+def _init_overlay_worker(lons, lats, cell_deg) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (lons, lats, fires, cell_deg)
+    _WORKER_STATE = {"lons": lons, "lats": lats, "cell_deg": cell_deg,
+                     "index": None}
 
 
-def _overlay_chunk(span: tuple[int, int]):
-    """Join one contiguous point chunk against every fire."""
-    start, stop = span
-    lons, lats, fires, cell_deg = _WORKER_STATE
+def _worker_index() -> UniformGridIndex:
+    state = _WORKER_STATE
+    index = state["index"]
+    if index is None:
+        index = UniformGridIndex(state["lons"], state["lats"],
+                                 state["cell_deg"])
+        state["index"] = index
+        STATS.count("pool.worker_index_builds")
+    return index
+
+
+def _overlay_fires_task(fires: list[FirePerimeter]):
+    """Join a slice of the fire list against the worker-resident index.
+
+    Returns per-fire hit counts (slice order), the concatenated global
+    hit indices, and the worker's stats delta.
+    """
     before = STATS.snapshot()
-    index = UniformGridIndex(lons[start:stop], lats[start:stop], cell_deg)
-    mask = np.zeros(stop - start, dtype=bool)
+    index = _worker_index()
     counts = np.zeros(len(fires), dtype=np.int64)
+    hit_chunks = []
     for i, fire in enumerate(fires):
         hits = index.query_polygon(fire.polygon)
         counts[i] = len(hits)
-        mask[hits] = True
-    return mask, counts, STATS.delta_since(before)
+        hit_chunks.append(hits)
+    hits = np.concatenate(hit_chunks) if hit_chunks \
+        else np.empty(0, dtype=np.int64)
+    return counts, hits, STATS.delta_since(before)
 
 
 def _init_classify_worker(lons, lats, whp) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (lons, lats, whp)
+    _WORKER_STATE = {"lons": lons, "lats": lats, "whp": whp}
 
 
-def _classify_chunk(span: tuple[int, int]):
+def _classify_task(span: tuple[int, int]):
     start, stop = span
-    lons, lats, whp = _WORKER_STATE
+    state = _WORKER_STATE
     before = STATS.snapshot()
-    classes = whp.classify(lons[start:stop], lats[start:stop])
+    classes = state["whp"].classify(state["lons"][start:stop],
+                                    state["lats"][start:stop])
     return classes, STATS.delta_since(before)
 
 
@@ -130,13 +188,14 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
     exactly as a per-fire tally would).
 
     ``workers``/``chunk_size``/``use_cache`` override the global
-    :class:`repro.runtime.RuntimeConfig` for this call.
+    :class:`repro.runtime.RuntimeConfig` for this call.  ``workers`` is
+    a *request*: the adaptive dispatcher resolves it against the
+    estimated work and the machine's core budget, and falls back to the
+    strictly-serial path whenever parallelism could not win.
     """
     cfg = get_config()
     if workers is None:
         workers = cfg.workers
-    if chunk_size is None:
-        chunk_size = cfg.chunk_size
     if use_cache is None:
         use_cache = cfg.cache_enabled
     resolved_year = year if year is not None else (
@@ -151,24 +210,16 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
             return _decode_overlay(entry)
 
     with STATS.timer("overlay_fires"):
-        eff_workers = _effective(workers, len(cells), chunk_size)
+        eff_workers = overlay_workers(workers, len(cells), len(fires))
         if eff_workers > 1:
             result = _overlay_parallel(cells, fires, resolved_year,
-                                       eff_workers, chunk_size)
+                                       eff_workers)
         else:
             result = _overlay_serial(cells, fires, resolved_year)
 
     if use_cache and key is not None:
         get_cache().put(key, _encode_overlay(result))
     return result
-
-
-def _effective(workers: int, n_points: int, chunk_size: int) -> int:
-    from ..runtime.config import MIN_PARALLEL_POINTS
-    if workers <= 1 or n_points < MIN_PARALLEL_POINTS:
-        return 1
-    n_chunks = -(-n_points // chunk_size)
-    return max(1, min(workers, n_chunks))
 
 
 def _overlay_serial(cells: CellUniverse, fires: list[FirePerimeter],
@@ -186,18 +237,31 @@ def _overlay_serial(cells: CellUniverse, fires: list[FirePerimeter],
 
 
 def _overlay_parallel(cells: CellUniverse, fires: list[FirePerimeter],
-                      year: int, workers: int,
-                      chunk_size: int) -> FireOverlayResult:
-    spans = chunk_spans(len(cells), chunk_size)
-    chunks = parallel_map(
-        _overlay_chunk, spans, workers,
+                      year: int, workers: int) -> FireOverlayResult:
+    """Fire-sharded parallel overlay on the persistent universe pool.
+
+    Each task is a contiguous slice of the fire list; each fire is
+    evaluated by exactly one worker against the same full-universe index
+    the serial path queries, so results are bit-identical by
+    construction (not merely by concatenation order).
+    """
+    slice_size = max(1, -(-len(fires) //
+                          (workers * _FIRE_SLICES_PER_WORKER)))
+    spans = chunk_spans(len(fires), slice_size)
+    tasks = [fires[lo:hi] for lo, hi in spans]
+    results = run_tasks(
+        "overlay", workers, cells.content_token(),
+        _overlay_fires_task, tasks,
         initializer=_init_overlay_worker,
-        initargs=(cells.lons, cells.lats, fires, _INDEX_CELL_DEG))
-    mask = np.concatenate([c[0] for c in chunks]) if chunks \
-        else np.zeros(0, dtype=bool)
-    counts = np.zeros(len(fires), dtype=np.int64)
-    for _, chunk_counts, delta in chunks:
-        counts += chunk_counts
+        initargs=(cells.lons, cells.lats, _INDEX_CELL_DEG))
+    if results is None:
+        return _overlay_serial(cells, fires, year)
+
+    mask = np.zeros(len(cells), dtype=bool)
+    counts = np.concatenate([r[0] for r in results]) if results \
+        else np.empty(0, dtype=np.int64)
+    for _, hits, delta in results:
+        mask[hits] = True
         STATS.merge(delta)
     per_fire = {fire.name: int(counts[i]) for i, fire in enumerate(fires)}
     return FireOverlayResult(year=year, n_fires=len(fires),
@@ -233,9 +297,9 @@ def classify_cells(cells: CellUniverse, whp: WhpModel, *,
                    use_cache: bool | None = None) -> np.ndarray:
     """WHP class code per transceiver (vectorized raster sampling).
 
-    Sharded over worker processes for large universes and memoized like
-    :func:`overlay_fires`; the sampling itself is exact per point, so
-    every path returns identical codes.
+    Sharded over the persistent worker pool for very large universes and
+    memoized like :func:`overlay_fires`; the sampling itself is exact
+    per point, so every path returns identical codes.
     """
     cfg = get_config()
     if workers is None:
@@ -254,17 +318,20 @@ def classify_cells(cells: CellUniverse, whp: WhpModel, *,
             return entry["classes"]
 
     with STATS.timer("classify_cells"):
-        eff_workers = _effective(workers, len(cells), chunk_size)
+        eff_workers = classify_workers(workers, len(cells), chunk_size)
+        classes = None
         if eff_workers > 1:
             spans = chunk_spans(len(cells), chunk_size)
-            chunks = parallel_map(
-                _classify_chunk, spans, eff_workers,
+            token = cells.content_token() + whp.content_token()
+            results = run_tasks(
+                "classify", eff_workers, token, _classify_task, spans,
                 initializer=_init_classify_worker,
                 initargs=(cells.lons, cells.lats, whp))
-            for _, delta in chunks:
-                STATS.merge(delta)
-            classes = np.concatenate([c[0] for c in chunks])
-        else:
+            if results is not None:
+                for _, delta in results:
+                    STATS.merge(delta)
+                classes = np.concatenate([c[0] for c in results])
+        if classes is None:
             classes = whp.classify(cells.lons, cells.lats)
 
     if use_cache and key is not None:

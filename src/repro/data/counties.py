@@ -257,13 +257,21 @@ def build_counties(pop: PopulationSurface, tile_deg: float = 0.35,
     for county in named:
         in_named |= county.bbox.contains_many(centers_lon, centers_lat)
 
+    # Named-county boxes as parallel arrays: each quad-center containment
+    # test below is one vectorized comparison instead of a Python scan
+    # over every named county.
+    nb = np.array([[c.bbox.min_lon, c.bbox.min_lat,
+                    c.bbox.max_lon, c.bbox.max_lat] for c in named])
+
     counties: list[County] = list(named)
     for tile, abbr, land, covered in zip(tiles, abbrs, on_land, in_named):
         if not land or covered:
             continue
         for quad, population in _subdivide(tile, pop, min_subdivision_deg):
             qc = quad.center
-            if any(c.bbox.contains(qc.lon, qc.lat) for c in named):
+            if bool(((nb[:, 0] <= qc.lon) & (qc.lon <= nb[:, 2])
+                     & (nb[:, 1] <= qc.lat)
+                     & (qc.lat <= nb[:, 3])).any()):
                 continue
             name = f"{abbr}-{len(counties):04d}"
             counties.append(County(name=name, state=str(abbr), bbox=quad,

@@ -64,6 +64,18 @@ class PopulationSurface:
 
         land = self._land_mask(lons, lats)
 
+        # The grid is separable (lon depends on col only, lat on row
+        # only), so every kernel's squared distance is an outer sum of
+        # two 1-D terms — bit-identical to the full-grid expression,
+        # built from W + H elements instead of W * H.
+        lon_axis, _ = grid.cell_center(0, cols)
+        _, lat_axis = grid.cell_center(rows, 0)
+
+        def kernel_d2(lon0: float, lat0: float) -> np.ndarray:
+            du2 = ((lon_axis - lon0) * np.cos(np.radians(lat0))) ** 2
+            dv2 = (lat_axis - lat0) ** 2
+            return (du2[None, :] + dv2[:, None]).ravel()
+
         # Metro kernels, each normalized to integrate to its metro
         # population so large metros do not grab a disproportionate share.
         density = np.zeros(lons.shape)
@@ -73,8 +85,7 @@ class PopulationSurface:
             # Kept tight so county tiles away from the anchor stay under
             # the 1.5M "very dense" cut (the paper has 23 such counties).
             sigma = 0.08 * (city.metro_pop / 1e5) ** 0.30
-            d2 = ((lons - city.lon) * np.cos(np.radians(city.lat))) ** 2 \
-                + (lats - city.lat) ** 2
+            d2 = kernel_d2(city.lon, city.lat)
             kernel = np.exp(-d2 / (2.0 * sigma * sigma)) * land
             total = kernel.sum()
             if total > 0:
@@ -88,8 +99,7 @@ class PopulationSurface:
             if front is None:
                 continue
             flon, flat, sigma, _boost = front
-            d2 = ((lons - flon) * np.cos(np.radians(flat))) ** 2 \
-                + (lats - flat) ** 2
+            d2 = kernel_d2(flon, flat)
             density *= 1.0 - 0.65 * np.exp(-d2 / (2.0 * sigma * sigma))
 
         # Remaining population: road-corridor towns plus a rural floor.

@@ -36,7 +36,7 @@ from .cells import CellUniverse
 from .population import PopulationSurface
 from .whp import WhpModel, WHPClass
 
-__all__ = ["PowerGrid", "build_power_grid"]
+__all__ = ["PowerGrid", "build_power_grid", "dense_mst"]
 
 
 @dataclass
@@ -118,7 +118,12 @@ class PowerGrid:
         site_ids, first = np.unique(cells.site_ids, return_index=True)
         site_lons = cells.lons[first]
         site_lats = cells.lats[first]
-        out: set[int] = set()
+        # Sample every feeder, then do one batched grid lookup for all
+        # samples; the per-site verdict is a segmented any().
+        sids: list[int] = []
+        counts: list[int] = []
+        lon_chunks: list[np.ndarray] = []
+        lat_chunks: list[np.ndarray] = []
         for sid, lon, lat in zip(site_ids.tolist(), site_lons,
                                  site_lats):
             sub = self.site_substation.get(int(sid))
@@ -129,13 +134,20 @@ class PowerGrid:
             length = float(np.hypot(x2 - lon, y2 - lat))
             n = max(2, int(length / step_deg))
             ts = np.linspace(0.0, 1.0, n)
-            lons = lon + ts * (x2 - lon)
-            lats = lat + ts * (y2 - lat)
-            rows, cols = grid.rowcol(lons, lats)
-            ok = grid.inside(rows, cols)
-            if ok.any() and mask[rows[ok], cols[ok]].any():
-                out.add(int(sid))
-        return out
+            lon_chunks.append(lon + ts * (x2 - lon))
+            lat_chunks.append(lat + ts * (y2 - lat))
+            sids.append(int(sid))
+            counts.append(n)
+        if not sids:
+            return set()
+        rows, cols = grid.rowcol(np.concatenate(lon_chunks),
+                                 np.concatenate(lat_chunks))
+        ok = grid.inside(rows, cols)
+        hit = np.zeros(len(rows), dtype=bool)
+        hit[ok] = mask[rows[ok], cols[ok]]
+        offsets = np.cumsum([0] + counts[:-1])
+        crossed = np.logical_or.reduceat(hit, offsets)
+        return {sid for sid, c in zip(sids, crossed.tolist()) if c}
 
     def dead_sites(self, dead_substations: set[int],
                    cut_lines: set[int]) -> set[int]:
@@ -180,27 +192,20 @@ def build_power_grid(pop: PopulationSurface, cells: CellUniverse,
     sub_lons, sub_lats = pop.sample_points(n_substations, rng,
                                            exponent=0.7)
 
-    # MST + k nearest neighbors over substations.
-    full = nx.Graph()
-    coords = np.column_stack([sub_lons, sub_lats])
-    for i in range(n_substations):
-        d = np.hypot(coords[:, 0] - coords[i, 0],
-                     coords[:, 1] - coords[i, 1])
-        order = np.argsort(d)
-        for j in order[1:k_neighbors + 1]:
-            full.add_edge(i, int(j), weight=float(d[j]))
-    # ensure connectivity with a complete-graph MST
-    complete = nx.Graph()
-    for i in range(n_substations):
-        d = np.hypot(coords[:, 0] - coords[i, 0],
-                     coords[:, 1] - coords[i, 1])
-        for j in range(i + 1, n_substations):
-            complete.add_edge(i, j, weight=float(d[j]))
-    mst = nx.minimum_spanning_tree(complete, weight="weight")
+    # MST + k nearest neighbors over substations.  The full pairwise
+    # distance matrix is small (n^2 floats); the MST comes from a dense
+    # vectorized Prim instead of a quadratic Python loop feeding
+    # Kruskal — identical tree, since the continuous sampled distances
+    # are pairwise distinct.
+    d = np.hypot(sub_lons[:, None] - sub_lons[None, :],
+                 sub_lats[:, None] - sub_lats[None, :])
+    order = np.argsort(d, axis=1)
     graph = nx.Graph()
     graph.add_nodes_from(range(n_substations))
-    graph.add_edges_from(mst.edges())
-    graph.add_edges_from(full.edges())
+    mst = dense_mst(d)
+    graph.add_edges_from(zip(*np.nonzero(mst)))
+    for col in range(1, k_neighbors + 1):
+        graph.add_edges_from(enumerate(order[:, col].tolist()))
 
     lines = np.asarray(sorted(tuple(sorted(e)) for e in graph.edges()),
                        dtype=np.int64)
@@ -209,16 +214,46 @@ def build_power_grid(pop: PopulationSurface, cells: CellUniverse,
     site_ids, first = np.unique(cells.site_ids, return_index=True)
     site_lons = cells.lons[first]
     site_lats = cells.lats[first]
-    assignment: dict[int, int] = {}
+    nearest_chunks = []
     chunk = 4096
     for start in range(0, len(site_ids), chunk):
         sl = site_lons[start:start + chunk][:, None]
         sa = site_lats[start:start + chunk][:, None]
         d2 = (sl - sub_lons[None, :]) ** 2 + (sa - sub_lats[None, :]) ** 2
-        nearest = np.argmin(d2, axis=1)
-        for sid, sub in zip(site_ids[start:start + chunk], nearest):
-            assignment[int(sid)] = int(sub)
+        nearest_chunks.append(np.argmin(d2, axis=1))
+    nearest = np.concatenate(nearest_chunks) if nearest_chunks \
+        else np.empty(0, dtype=np.int64)
+    assignment = {int(sid): int(sub)
+                  for sid, sub in zip(site_ids.tolist(), nearest.tolist())}
 
     return PowerGrid(substation_lons=sub_lons, substation_lats=sub_lats,
                      lines=lines, site_substation=assignment,
                      graph=graph)
+
+
+def dense_mst(d: np.ndarray) -> np.ndarray:
+    """Minimum spanning tree edges of a dense distance matrix.
+
+    Dense Prim's algorithm, O(n^2) with one vectorized relaxation per
+    added node.  Returns a boolean (n, n) matrix marking tree edges
+    (parent -> child as discovered).  The MST is unique — hence equal to
+    the Kruskal tree of the complete graph — whenever the off-diagonal
+    distances are distinct, the generic case for continuously sampled
+    points.
+    """
+    n = d.shape[0]
+    mst = np.zeros((n, n), dtype=bool)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best = d[0].astype(float, copy=True)
+    best[0] = np.inf
+    parent = np.zeros(n, dtype=np.int64)
+    for _ in range(n - 1):
+        j = int(np.argmin(best))
+        in_tree[j] = True
+        mst[parent[j], j] = True
+        best[j] = np.inf
+        better = (d[j] < best) & ~in_tree
+        parent[better] = j
+        best[better] = d[j][better]
+    return mst

@@ -81,26 +81,83 @@ def road_segments() -> tuple[LineString, ...]:
     return tuple(segs)
 
 
-def distance_to_roads_deg(lons, lats) -> np.ndarray:
+def distance_to_roads_deg(lons, lats, chunk: int = 512) -> np.ndarray:
     """Min distance (degrees) from points to any highway segment.
 
     Used by the population/transceiver samplers to create road corridors.
-    Vectorized over points; loops over the ~200 segments.
+    Works on chunks of points and skips, per chunk, every segment that
+    provably cannot contain the minimum: a segment is dropped only when
+    the separation of its bbox from the chunk's bbox exceeds an upper
+    bound on the chunk's final answer (nearest-segment distance from the
+    chunk center plus the chunk's half-diagonal, plus a safety margin
+    dwarfing float rounding).  Min is exact in floating point, so the
+    result is bit-identical to testing every segment.
     """
     lons = np.asarray(lons, dtype=float)
     lats = np.asarray(lats, dtype=float)
-    best = np.full(lons.shape, np.inf)
-    for seg in road_segments():
-        (x1, y1), (x2, y2) = seg.coords
-        # Prune: skip segments whose bbox is far from all points; cheap
-        # check against the aggregate point bbox.
-        if (max(x1, x2) < lons.min() - 3 or min(x1, x2) > lons.max() + 3
-                or max(y1, y2) < lats.min() - 3
-                or min(y1, y2) > lats.max() + 3):
+    flat_lons = np.atleast_1d(lons.ravel())
+    flat_lats = np.atleast_1d(lats.ravel())
+    segs = np.array([(s.coords[0][0], s.coords[0][1],
+                      s.coords[1][0], s.coords[1][1])
+                     for s in road_segments()])
+    sx0 = np.minimum(segs[:, 0], segs[:, 2])
+    sx1 = np.maximum(segs[:, 0], segs[:, 2])
+    sy0 = np.minimum(segs[:, 1], segs[:, 3])
+    sy1 = np.maximum(segs[:, 1], segs[:, 3])
+
+    # Group points into ~1-degree spatial tiles before chunking: callers
+    # pass raster scan orders whose consecutive runs span the whole
+    # domain, which would give every chunk a domain-sized bbox and
+    # defeat the pruning.  Each point's distance is independent of
+    # processing order, so the permutation changes nothing but speed.
+    tile_key = ((np.floor(flat_lons) + 200.0) * 400.0
+                + (np.floor(flat_lats) + 100.0)).astype(np.int64)
+    order = np.argsort(tile_key, kind="stable")
+
+    best = np.full(flat_lons.shape, np.inf)
+    for start in range(0, len(flat_lons), chunk):
+        idx = order[start:start + chunk]
+        px = flat_lons[idx]
+        py = flat_lats[idx]
+        bx0, bx1 = px.min(), px.max()
+        by0, by1 = py.min(), py.max()
+        # Minimax bound: point-to-segment distance is convex, so its max
+        # over the chunk rectangle sits on a corner.  min over segments
+        # of that corner max bounds every point's final answer.
+        dx = segs[:, 2] - segs[:, 0]
+        dy = segs[:, 3] - segs[:, 1]
+        seg_len2 = np.where(dx * dx + dy * dy == 0.0, 1.0,
+                            dx * dx + dy * dy)
+        corner_max = np.zeros(len(segs))
+        for qx, qy in ((bx0, by0), (bx0, by1), (bx1, by0), (bx1, by1)):
+            t = np.clip(((qx - segs[:, 0]) * dx + (qy - segs[:, 1]) * dy)
+                        / seg_len2, 0.0, 1.0)
+            d = np.hypot(qx - (segs[:, 0] + t * dx),
+                         qy - (segs[:, 1] + t * dy))
+            np.maximum(corner_max, d, out=corner_max)
+        upper = float(corner_max.min()) + 1e-6
+        lower = np.hypot(np.maximum(0.0, np.maximum(sx0 - bx1, bx0 - sx1)),
+                         np.maximum(0.0, np.maximum(sy0 - by1, by0 - sy1)))
+        keep = np.nonzero(lower <= upper)[0]
+        if len(keep) == 0:
+            best[idx] = np.inf
             continue
-        d = _point_segment_distance_vec(lons, lats, x1, y1, x2, y2)
-        np.minimum(best, d, out=best)
-    return best
+        # One broadcast evaluation over (kept segments, chunk points);
+        # the per-element arithmetic matches _point_segment_distance_vec
+        # (including its zero-length-segment fallback via the where'd
+        # denominator), and an axis-min of the same floats equals the
+        # running-minimum loop exactly.
+        x1 = segs[keep, 0][:, None]
+        y1 = segs[keep, 1][:, None]
+        dxk = dx[keep][:, None]
+        dyk = dy[keep][:, None]
+        len2 = seg_len2[keep][:, None]
+        t = np.clip(((px[None, :] - x1) * dxk + (py[None, :] - y1) * dyk)
+                    / len2, 0.0, 1.0)
+        d = np.hypot(px[None, :] - (x1 + t * dxk),
+                     py[None, :] - (y1 + t * dyk))
+        best[idx] = d.min(axis=0)
+    return best.reshape(lons.shape)
 
 
 def _point_segment_distance_vec(px, py, x1, y1, x2, y2) -> np.ndarray:

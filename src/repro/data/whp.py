@@ -85,8 +85,16 @@ class WhpModel:
         return self.raster.grid
 
     def content_token(self) -> bytes:
-        """Digest of the class raster (delegates to the raster payload)."""
-        return self.raster.content_token()
+        """Digest of the class raster (delegates to the raster payload).
+
+        Memoized per model: a built WHP raster is immutable in practice,
+        and the digest keys every classify_cells cache probe.
+        """
+        token = getattr(self, "_token", None)
+        if token is None:
+            token = self.raster.content_token()
+            self._token = token
+        return token
 
     def classify(self, lons, lats) -> np.ndarray:
         """WHP class codes at the given points (NON_BURNABLE outside)."""

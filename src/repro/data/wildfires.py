@@ -41,6 +41,23 @@ __all__ = ["FirePerimeter", "FireSeason", "generate_fire_season",
 #: Los Angeles anomaly.
 SCRIPTED_LA_FIRES_2019 = ("Saddle Ridge", "Tick")
 
+#: Per-vertex-count cache of the deterministic star-polygon geometry
+#: (theta grid, its cos/sin, and sin of the angular step).  Thousands of
+#: perimeters share the same vertex count, so the trig is hoisted out of
+#: the per-fire loop.
+_STAR_TRIG: dict[int, tuple[np.ndarray, np.ndarray, float]] = {}
+
+
+def _star_trig(n_vertices: int) -> tuple[np.ndarray, np.ndarray, float]:
+    cached = _STAR_TRIG.get(n_vertices)
+    if cached is None:
+        theta = np.linspace(0.0, 2.0 * math.pi, n_vertices,
+                            endpoint=False)
+        cached = (np.cos(theta), np.sin(theta),
+                  math.sin(2.0 * math.pi / n_vertices))
+        _STAR_TRIG[n_vertices] = cached
+    return cached
+
 
 @dataclass(frozen=True)
 class FirePerimeter:
@@ -96,17 +113,17 @@ def star_polygon(lon: float, lat: float, acres: float,
     # Circular smoothing keeps the outline coherent rather than spiky.
     noise = ndimage.uniform_filter1d(noise, size=5, mode="wrap")
     noise = noise / max(np.abs(noise).max(), 1e-9)
-    radii_rel = np.clip(1.0 + roughness * noise, 0.25, None)
+    # Same values as np.clip(..., 0.25, None) without the clip wrapper.
+    radii_rel = np.maximum(1.0 + roughness * noise, 0.25)
 
-    theta = np.linspace(0.0, 2.0 * math.pi, n_vertices, endpoint=False)
+    cos_theta, sin_theta, sin_dtheta = _star_trig(n_vertices)
     # Polygon area for radial function r(θ): A = 1/2 Σ r_i r_{i+1} sin Δθ.
-    dtheta = 2.0 * math.pi / n_vertices
-    unit_area = 0.5 * float(
-        np.sum(radii_rel * np.roll(radii_rel, -1)) * math.sin(dtheta))
+    radii_next = np.concatenate((radii_rel[1:], radii_rel[:1]))
+    unit_area = 0.5 * float(np.sum(radii_rel * radii_next) * sin_dtheta)
     base_r = math.sqrt(acres_to_sqmeters(acres) / unit_area)
 
-    x = base_r * radii_rel * np.cos(theta)
-    y = base_r * radii_rel * np.sin(theta)
+    x = base_r * radii_rel * cos_theta
+    y = base_r * radii_rel * sin_theta
     if elongation > 1.0:
         # Area-preserving anisotropic scaling along the wind bearing.
         stretch = math.sqrt(elongation)
@@ -120,7 +137,9 @@ def star_polygon(lon: float, lat: float, acres: float,
     mx, my = meters_per_degree(lat)
     lons = lon + x / mx
     lats = lat + y / my
-    return Polygon(np.column_stack([lons, lats]))
+    # The ring is CCW by construction (theta increases counter-clockwise,
+    # radii are positive) and open, so the trusted constructor applies.
+    return Polygon.from_ccw_ring(np.column_stack([lons, lats]))
 
 
 def _pareto_sizes(n: int, total_acres: float, rng: np.random.Generator,
@@ -168,8 +187,10 @@ def generate_fire_season(year: int, whp: WhpModel, seed: int | None = None,
 
     fires = []
     for i in range(n_perimeter_fires):
-        start = int(np.clip(rng.normal(225, 45), 32, 340))
-        duration = int(np.clip(2 + sizes[i] ** 0.33, 2, 90))
+        # Scalar min/max equals np.clip on floats, minus ~8us of ufunc
+        # dispatch per call — this loop runs tens of thousands of times.
+        start = int(min(max(rng.normal(225, 45), 32), 340))
+        duration = int(min(max(2 + sizes[i] ** 0.33, 2), 90))
         elongation = float(rng.uniform(*elongation_range))
         poly = star_polygon(float(lons[i]), float(lats[i]),
                             float(sizes[i]), rng,

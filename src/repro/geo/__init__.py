@@ -16,12 +16,22 @@ from .geojson import (
     geometry_to_geojson,
     load_features,
 )
-from .geometry import BBox, LineString, MultiPolygon, Point, Polygon, simplify_ring
+from .geometry import (
+    BBox,
+    LineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    PreparedPolygon,
+    simplify_ring,
+)
 from .index import STRTree, UniformGridIndex
 from .predicates import (
+    PreparedRing,
     is_ccw,
     point_in_ring,
     points_in_ring,
+    prepare_ring,
     ring_area_signed,
     segments_intersect,
 )
@@ -42,6 +52,7 @@ from .raster import GridSpec, Raster, disk_footprint, rasterize_polygon
 
 __all__ = [
     "BBox", "LineString", "MultiPolygon", "Point", "Polygon",
+    "PreparedPolygon", "PreparedRing", "prepare_ring",
     "simplify_ring",
     "STRTree", "UniformGridIndex",
     "GridSpec", "Raster", "disk_footprint", "rasterize_polygon",

@@ -17,10 +17,12 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .predicates import (
+    _validated_ring,
     is_ccw,
     point_in_ring,
     points_in_ring,
     point_segment_distance,
+    prepare_ring,
     ring_area_signed,
 )
 from .projection import CONUS_ALBERS, sqmeters_to_acres
@@ -30,6 +32,7 @@ __all__ = [
     "BBox",
     "LineString",
     "Polygon",
+    "PreparedPolygon",
     "MultiPolygon",
     "simplify_ring",
 ]
@@ -155,16 +158,32 @@ class Polygon:
         self.exterior = self._normalize(exterior, ccw=True)
         self.holes = tuple(self._normalize(h, ccw=False) for h in holes)
         self._bbox = BBox.of_coords(self.exterior[:, 0], self.exterior[:, 1])
+        self._prepared: PreparedPolygon | None = None
+
+    @classmethod
+    def from_ccw_ring(cls, exterior) -> "Polygon":
+        """Trusted fast constructor: an open CCW exterior, no holes.
+
+        Skips ring validation and winding normalization, so the caller
+        must guarantee an (N>=3, 2) float ring that is counter-clockwise
+        and has no duplicated closing vertex.  Produces a polygon
+        bit-identical to ``Polygon(exterior)`` for such input; generators
+        that emit thousands of perimeters (see
+        :func:`repro.data.wildfires.star_polygon`) use it to stay off
+        the per-ring shoelace/closure checks.
+        """
+        poly = cls.__new__(cls)
+        arr = np.ascontiguousarray(exterior, dtype=float)
+        arr.setflags(write=False)
+        poly.exterior = arr
+        poly.holes = ()
+        poly._bbox = BBox.of_coords(arr[:, 0], arr[:, 1])
+        poly._prepared = None
+        return poly
 
     @staticmethod
     def _normalize(ring, ccw: bool) -> np.ndarray:
-        arr = np.asarray(ring, dtype=float)
-        if arr.ndim != 2 or arr.shape[1] != 2:
-            raise ValueError("ring must be an (N, 2) array")
-        if len(arr) >= 2 and np.allclose(arr[0], arr[-1]):
-            arr = arr[:-1]
-        if len(arr) < 3:
-            raise ValueError("ring needs at least 3 distinct vertices")
+        arr = _validated_ring(ring)
         if is_ccw(arr) != ccw:
             arr = arr[::-1]
         arr = np.ascontiguousarray(arr)
@@ -175,33 +194,37 @@ class Polygon:
         return (f"Polygon({len(self.exterior)} vertices, "
                 f"{len(self.holes)} holes)")
 
+    def __getstate__(self):
+        # Prepared edge arrays are cheap to rebuild and only bloat pickles
+        # shipped to worker processes; drop them.
+        return {"exterior": self.exterior, "holes": self.holes,
+                "_bbox": self._bbox}
+
+    def __setstate__(self, state):
+        self.exterior = state["exterior"]
+        self.holes = state["holes"]
+        self._bbox = state["_bbox"]
+        self._prepared = None
+
     @property
     def bbox(self) -> BBox:
         return self._bbox
 
+    @property
+    def prepared(self) -> "PreparedPolygon":
+        """Prepared form of this polygon, built lazily and cached."""
+        if self._prepared is None:
+            self._prepared = PreparedPolygon(self.exterior, self.holes,
+                                             bbox=self._bbox)
+        return self._prepared
+
     def contains(self, lon: float, lat: float) -> bool:
         """True if the point is inside the polygon (and not in a hole)."""
-        if not self._bbox.contains(lon, lat):
-            return False
-        if not point_in_ring(lon, lat, self.exterior):
-            return False
-        return not any(point_in_ring(lon, lat, h) for h in self.holes)
+        return self.prepared.contains(lon, lat)
 
     def contains_many(self, lons, lats) -> np.ndarray:
         """Vectorized containment test for arrays of points."""
-        lons = np.asarray(lons, dtype=float)
-        lats = np.asarray(lats, dtype=float)
-        result = self._bbox.contains_many(lons, lats)
-        if not result.any():
-            return result
-        idx = np.nonzero(result)[0]
-        inside = points_in_ring(lons[idx], lats[idx], self.exterior)
-        for hole in self.holes:
-            in_hole = points_in_ring(lons[idx], lats[idx], hole)
-            inside &= ~in_hole
-        result[:] = False
-        result[idx[inside]] = True
-        return result
+        return self.prepared.contains_many(lons, lats)
 
     def area_sqm(self) -> float:
         """True (equal-area-projected) polygon area in square meters."""
@@ -221,10 +244,9 @@ class Polygon:
 
     def centroid(self) -> Point:
         """Area-weighted centroid of the exterior ring (lon/lat degrees)."""
-        xs = self.exterior[:, 0]
-        ys = self.exterior[:, 1]
-        x_next = np.roll(xs, -1)
-        y_next = np.roll(ys, -1)
+        ring = self.prepared.exterior
+        xs, ys = ring.xs, ring.ys
+        x_next, y_next = ring.x_next, ring.y_next
         cross = xs * y_next - x_next * ys
         area2 = cross.sum()
         if abs(area2) < 1e-15:
@@ -239,6 +261,63 @@ class Polygon:
         holes = [simplify_ring(h, tolerance_deg) for h in self.holes]
         holes = [h for h in holes if len(h) >= 3]
         return Polygon(ext, holes)
+
+
+class PreparedPolygon:
+    """A polygon with every per-query array precomputed.
+
+    The spatial join tests each fire perimeter against thousands of
+    candidate chunks; preparing the rings once (edge arrays, closure trim,
+    bbox) turns the per-query cost into pure vectorized arithmetic.
+    Results are bit-identical to the unprepared path — preparation caches
+    arrays, it never changes an expression.
+
+    Satisfies the same query protocol the spatial indexes rely on
+    (``bbox``, ``contains``, ``contains_many``), so a ``PreparedPolygon``
+    can be passed anywhere a :class:`Polygon` is queried.
+    """
+
+    __slots__ = ("exterior", "holes", "bbox")
+
+    def __init__(self, exterior, holes: Iterable = (),
+                 bbox: BBox | None = None):
+        self.exterior = prepare_ring(exterior)
+        self.holes = tuple(prepare_ring(h) for h in holes)
+        if bbox is None:
+            bbox = BBox.of_coords(self.exterior.xs, self.exterior.ys)
+        self.bbox = bbox
+
+    @classmethod
+    def of(cls, polygon: "Polygon") -> "PreparedPolygon":
+        return polygon.prepared
+
+    def __repr__(self) -> str:
+        return (f"PreparedPolygon({self.exterior.n} vertices, "
+                f"{len(self.holes)} holes)")
+
+    def contains(self, lon: float, lat: float) -> bool:
+        """True if the point is inside the polygon (and not in a hole)."""
+        if not self.bbox.contains(lon, lat):
+            return False
+        if not point_in_ring(lon, lat, self.exterior):
+            return False
+        return not any(point_in_ring(lon, lat, h) for h in self.holes)
+
+    def contains_many(self, lons, lats) -> np.ndarray:
+        """Vectorized containment test for arrays of points."""
+        lons = np.asarray(lons, dtype=float)
+        lats = np.asarray(lats, dtype=float)
+        result = self.bbox.contains_many(lons, lats)
+        if not result.any():
+            return result
+        idx = np.nonzero(result)[0]
+        inside = points_in_ring(lons[idx], lats[idx], self.exterior)
+        for hole in self.holes:
+            in_hole = points_in_ring(lons[idx], lats[idx], hole)
+            inside &= ~in_hole
+        result[:] = False
+        result[idx[inside]] = True
+        return result
 
 
 class MultiPolygon:

@@ -216,17 +216,23 @@ def rasterize_polygon(grid: GridSpec, polygon: Polygon) -> np.ndarray:
     if row_min > row_max or col_min > col_max:
         return mask
 
-    rings = [polygon.exterior, *polygon.holes]
+    # Edge arrays are row-invariant; build them once, not per scanline.
+    edge_arrays = []
+    for ring in [polygon.exterior, *polygon.holes]:
+        xs = ring[:, 0]
+        ys = ring[:, 1]
+        edge_arrays.append((xs, ys, np.roll(xs, -1), np.roll(ys, -1)))
+    # Cell-center longitudes depend only on the column (separable grid),
+    # so the scanline x-axis is shared by every row.
+    cols = np.arange(col_min, col_max + 1)
+    lons, _ = grid.cell_center(np.full_like(cols, row_min), cols)
+
     for row in range(row_min, row_max + 1):
         _, lat = grid.cell_center(row, 0)
         lat = float(lat)
         crossings: list[float] = []
         hole_crossings: list[list[float]] = []
-        for k, ring in enumerate(rings):
-            xs = ring[:, 0]
-            ys = ring[:, 1]
-            x_next = np.roll(xs, -1)
-            y_next = np.roll(ys, -1)
+        for k, (xs, ys, x_next, y_next) in enumerate(edge_arrays):
             cond = (ys > lat) != (y_next > lat)
             if not cond.any():
                 if k > 0:
@@ -240,8 +246,6 @@ def rasterize_polygon(grid: GridSpec, polygon: Polygon) -> np.ndarray:
                 hole_crossings.append(sorted(xc.tolist()))
         if not crossings:
             continue
-        cols = np.arange(col_min, col_max + 1)
-        lons, _ = grid.cell_center(np.full_like(cols, row), cols)
         inside = _inside_from_crossings(lons, crossings)
         for hc in hole_crossings:
             if hc:

@@ -4,8 +4,14 @@
 fire-perimeter/raster joins, repeated for every table and figure — run
 as fast as the machine allows without changing a single result bit:
 
-* :mod:`.parallel` — chunked point partitions mapped over worker
-  processes (``REPRO_WORKERS``), with a guaranteed serial fallback;
+* :mod:`.pool` — persistent worker pools (``REPRO_WORKERS``), created
+  lazily, keyed by dataset content, and reused across every join of a
+  reproduction, with a guaranteed serial fallback;
+* :mod:`.dispatch` — the adaptive serial/parallel decision: estimated
+  work (points × fires, raster samples) against a measured crossover,
+  capped by the machine's core count, so parallel never loses to serial;
+* :mod:`.parallel` — one-shot chunked maps (the pre-pool primitive,
+  still used for ad-hoc fan-outs);
 * :mod:`.cache` — a content-addressed in-memory + on-disk result cache
   keyed by the inputs' bytes, so identical joins are computed once;
 * :mod:`.stats` — per-stage wall times and candidate/hit/cache counters
@@ -24,7 +30,9 @@ from .config import (
     get_config,
     set_config,
 )
+from .dispatch import classify_workers, cpu_budget, overlay_workers
 from .parallel import chunk_spans, parallel_map
+from .pool import active_pools, get_pool, run_tasks, shutdown_pools
 from .stats import STATS, PerfRegistry
 
 __all__ = [
@@ -32,5 +40,7 @@ __all__ = [
     "default_cache_dir",
     "ResultCache", "cache_key", "array_token", "get_cache", "set_cache",
     "chunk_spans", "parallel_map",
+    "active_pools", "get_pool", "run_tasks", "shutdown_pools",
+    "cpu_budget", "overlay_workers", "classify_workers",
     "STATS", "PerfRegistry",
 ]

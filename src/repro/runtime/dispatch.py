@@ -1,0 +1,97 @@
+"""Adaptive dispatch: choose serial vs parallel from estimated work.
+
+The old gate ("more than 8k points → fork") made the parallel path a
+net loss on every benchmark below full-universe scale: pool creation
+plus task shipping costs tens to hundreds of milliseconds, while a
+150k-point season overlay finishes serially in under ten.  This module
+decides per call whether forking can possibly pay, from three inputs:
+
+* **estimated work** — point-in-polygon work scales with
+  ``points × fires`` for the perimeter overlay and with ``points``
+  (raster samples) for the WHP classify;
+* **the machine** — never resolve more workers than there are CPU
+  cores; an oversubscribed pool on a small machine only adds context
+  switches to the exact same amount of arithmetic;
+* **the crossover** — measured constants expressing how much work a
+  fork must amortize before the parallel path breaks even.
+
+The decision is intentionally conservative: below the crossover the
+join runs serially on the exact code path the seed implementation used,
+so "parallel" can never lose to serial — it simply *is* serial until
+the workload is big enough to win.
+
+All knobs are module constants so tests (and unusual deployments) can
+patch them; the work floor scales off ``config.MIN_PARALLEL_POINTS``,
+which the differential suite already patches to exercise the real pool
+machinery on tiny universes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import config as _config
+
+__all__ = [
+    "OVERLAY_WORK_FACTOR",
+    "CLASSIFY_WORK_FACTOR",
+    "MIN_PARALLEL_FIRES",
+    "CPU_COUNT_OVERRIDE",
+    "cpu_budget",
+    "overlay_workers",
+    "classify_workers",
+]
+
+#: A fork pays off for the perimeter overlay once ``points × fires``
+#: exceeds ``MIN_PARALLEL_POINTS × OVERLAY_WORK_FACTOR`` (~100M work
+#: units at the default floor — full-universe scale).  Below that the
+#: serial join finishes before a pool could even start.
+OVERLAY_WORK_FACTOR = 12_288
+
+#: Same crossover for raster classification, in raster samples
+#: (~34M points at the default floor).  Sampling is much cheaper per
+#: point than point-in-polygon, hence the larger implied universe.
+CLASSIFY_WORK_FACTOR = 4_096
+
+#: The overlay shards by fire; fewer perimeters than this cannot feed
+#: more than one worker anything useful.
+MIN_PARALLEL_FIRES = 2
+
+#: Test hook / deployment override for the visible core count.
+#: ``None`` means trust ``os.cpu_count()``.
+CPU_COUNT_OVERRIDE: int | None = None
+
+
+def cpu_budget() -> int:
+    """Number of CPU cores parallelism may assume."""
+    if CPU_COUNT_OVERRIDE is not None:
+        return max(1, int(CPU_COUNT_OVERRIDE))
+    return os.cpu_count() or 1
+
+
+def overlay_workers(requested: int, n_points: int, n_fires: int) -> int:
+    """Workers to actually use for a perimeter overlay.
+
+    Returns 1 (strictly serial, no pool) unless the estimated work
+    clears the crossover *and* the machine has cores to spare.
+    """
+    floor = _config.MIN_PARALLEL_POINTS
+    if requested <= 1 or n_points < floor:
+        return 1
+    if n_fires < MIN_PARALLEL_FIRES:
+        return 1
+    if n_points * n_fires < floor * OVERLAY_WORK_FACTOR:
+        return 1
+    return max(1, min(requested, cpu_budget(), n_fires))
+
+
+def classify_workers(requested: int, n_points: int,
+                     chunk_size: int) -> int:
+    """Workers to actually use for a raster classification."""
+    floor = _config.MIN_PARALLEL_POINTS
+    if requested <= 1 or n_points < floor:
+        return 1
+    if n_points < floor * CLASSIFY_WORK_FACTOR:
+        return 1
+    n_chunks = -(-n_points // chunk_size)
+    return max(1, min(requested, cpu_budget(), n_chunks))

@@ -66,6 +66,36 @@ class TestUniformGridIndex:
         idx = UniformGridIndex(np.array([-100.0]), np.array([40.0]))
         assert idx.query_bbox(BBox(-101, 39, -99, 41)).tolist() == [0]
 
+    def test_bucket_range_clamped_to_grid(self, index):
+        """An oversized query bbox clamps on all four window edges."""
+        big = BBox(-500.0, -500.0, 500.0, 500.0)
+        c0, c1, r0, r1 = index._bucket_range(big)
+        assert c0 == 0 and r0 == 0
+        assert c1 == index._ncols - 1
+        assert r1 == index._nrows - 1
+        # and the clamped window still returns every point
+        assert len(index.query_bbox(big)) == len(index)
+
+    def test_csr_layout_invariants(self, points, index):
+        """Bucket pointers partition the point set exactly."""
+        ptr = index._bucket_ptr
+        assert ptr[0] == 0 and ptr[-1] == len(index)
+        assert (np.diff(ptr) > 0).all()      # only occupied buckets stored
+        assert len(index._uniq_keys) == len(ptr) - 1
+        assert (np.diff(index._uniq_keys) > 0).all()
+        assert sorted(index._order.tolist()) == list(range(len(index)))
+
+    def test_bbox_queries_counted_before_early_returns(self, index):
+        """Disjoint and empty-bucket queries still count as queries."""
+        from repro.runtime.stats import STATS
+
+        before = STATS.snapshot()
+        index.query_bbox(BBox(10.0, 10.0, 11.0, 11.0))   # disjoint
+        empty_idx = UniformGridIndex(np.array([]), np.array([]))
+        empty_idx.query_bbox(BBox(0, 0, 1, 1))           # empty index
+        delta = STATS.delta_since(before)
+        assert delta["counters"].get("index.bbox_queries", 0) == 2
+
 
 class TestSTRTree:
     def _boxes(self, rng, n=200):

@@ -4,11 +4,12 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.geo.buffer import buffer_point
-from repro.geo.geometry import BBox, Polygon, simplify_ring
+from repro.geo.geometry import BBox, Polygon, PreparedPolygon, simplify_ring
 from repro.geo.index import STRTree, UniformGridIndex
 from repro.geo.predicates import (
     point_in_ring,
     points_in_ring,
+    prepare_ring,
     ring_area_signed,
 )
 from repro.geo.projection import CONUS_ALBERS, haversine_m
@@ -117,6 +118,44 @@ def test_points_in_ring_subset_of_bbox(ring):
     inside = points_in_ring(lons, lats, ring)
     in_box = box.contains_many(lons, lats)
     assert not (inside & ~in_box).any()
+
+
+# Prepared-geometry properties ------------------------------------------
+
+@given(star_rings(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_prepared_ring_matches_raw_ring(ring, seed):
+    """points_in_ring is bit-identical on prepared and raw rings."""
+    prepared = prepare_ring(ring)
+    assert ring_area_signed(prepared) == ring_area_signed(ring)
+    box = Polygon(ring).bbox.expand(0.5)
+    rng = np.random.default_rng(seed)
+    lons = rng.uniform(box.min_lon, box.max_lon, 96)
+    lats = rng.uniform(box.min_lat, box.max_lat, 96)
+    raw = points_in_ring(lons, lats, ring)
+    fast = points_in_ring(lons, lats, prepared)
+    assert (raw == fast).all()
+
+
+@given(star_rings(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_prepared_polygon_matches_exhaustive_scan(ring, seed):
+    """PreparedPolygon agrees with the scalar exhaustive reference."""
+    polygon = Polygon(ring)
+    prepared = PreparedPolygon.of(polygon)
+    box = polygon.bbox.expand(0.5)
+    rng = np.random.default_rng(seed)
+    lons = rng.uniform(box.min_lon, box.max_lon, 128)
+    lats = rng.uniform(box.min_lat, box.max_lat, 128)
+    vec = prepared.contains_many(lons, lats)
+    scalar = np.array([prepared.contains(lon, lat)
+                       for lon, lat in zip(lons, lats)])
+    # Independent oracle: the crossing test over every point with no
+    # bbox pre-filter (points outside the bbox are outside the ring, so
+    # skipping the filter changes nothing).
+    exhaustive = points_in_ring(lons, lats, polygon.exterior)
+    assert (vec == scalar).all()
+    assert (vec == exhaustive).all()
 
 
 # Buffer properties -----------------------------------------------------

@@ -186,3 +186,20 @@ class TestOverlayCacheSemantics:
                        random_universe(0, 501).content_token(),
                        fires_token(fires), 2018)
         assert len({k1, k2, k3}) == 3
+
+    def test_fires_token_memoized_per_fire(self):
+        from repro.core import overlay
+        from tests.runtime.test_differential import random_fires
+
+        fires = random_fires(3, 3)
+        t1 = overlay.fires_token(fires)
+        # every fire's digest is now memoized on the fire object
+        assert all(f in overlay._FIRE_TOKENS for f in fires)
+        t2 = overlay.fires_token(fires)
+        assert t1 == t2
+        assert overlay.fires_token(fires[:-1]) != t1
+
+    def test_universe_and_whp_tokens_memoized(self, universe):
+        cells = universe.cells
+        assert cells.content_token() is cells.content_token()
+        assert universe.whp.content_token() is universe.whp.content_token()

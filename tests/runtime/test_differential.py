@@ -21,12 +21,25 @@ from repro.core.overlay import (
 from repro.data.cells import CellUniverse
 from repro.data.wildfires import FirePerimeter, star_polygon
 from repro.runtime import config as runtime_config
+from repro.runtime import dispatch as runtime_dispatch
+from repro.runtime import shutdown_pools
 
 
 @pytest.fixture(autouse=True)
 def _small_parallel_floor(monkeypatch):
-    """Let tiny test universes exercise the real parallel path."""
+    """Let tiny test universes exercise the real parallel path.
+
+    The adaptive dispatcher would (correctly) keep every one of these
+    joins serial: the work floor, the work crossover, and the machine's
+    core budget all gate the pool.  Patch all three down so the actual
+    pool machinery runs; results must still be bit-identical.
+    """
     monkeypatch.setattr(runtime_config, "MIN_PARALLEL_POINTS", 64)
+    monkeypatch.setattr(runtime_dispatch, "OVERLAY_WORK_FACTOR", 1)
+    monkeypatch.setattr(runtime_dispatch, "CLASSIFY_WORK_FACTOR", 1)
+    monkeypatch.setattr(runtime_dispatch, "CPU_COUNT_OVERRIDE", 8)
+    yield
+    shutdown_pools()
 
 
 def random_universe(seed: int, n: int) -> CellUniverse:

@@ -1,0 +1,137 @@
+"""Tests for the adaptive serial/parallel dispatcher.
+
+The dispatcher's contract is one-sided: parallel must never be chosen
+where it would lose.  These tests pin the serial decisions below every
+gate (work floor, crossover, fire count, core budget) and the resolved
+worker counts above them — plus an end-to-end regression proving that a
+sub-crossover overlay with ``workers=4`` never touches the pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import config as runtime_config
+from repro.runtime import dispatch
+from repro.runtime.stats import STATS
+
+
+@pytest.fixture(autouse=True)
+def _stable_knobs(monkeypatch):
+    """Pin the floor and pretend the machine has 8 cores."""
+    monkeypatch.setattr(runtime_config, "MIN_PARALLEL_POINTS", 1_000)
+    monkeypatch.setattr(dispatch, "CPU_COUNT_OVERRIDE", 8)
+
+
+class TestCpuBudget:
+    def test_override_wins(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "CPU_COUNT_OVERRIDE", 3)
+        assert dispatch.cpu_budget() == 3
+
+    def test_override_floor_is_one(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "CPU_COUNT_OVERRIDE", 0)
+        assert dispatch.cpu_budget() == 1
+
+    def test_no_override_uses_machine(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "CPU_COUNT_OVERRIDE", None)
+        assert dispatch.cpu_budget() >= 1
+
+
+class TestOverlayWorkers:
+    def test_serial_when_one_requested(self):
+        assert dispatch.overlay_workers(1, 10**9, 10**3) == 1
+
+    def test_serial_below_point_floor(self):
+        assert dispatch.overlay_workers(4, 999, 10**6) == 1
+
+    def test_serial_below_fire_floor(self):
+        assert dispatch.overlay_workers(4, 10**9, 1) == 1
+
+    def test_serial_below_crossover(self):
+        floor = runtime_config.MIN_PARALLEL_POINTS
+        work = floor * dispatch.OVERLAY_WORK_FACTOR
+        n_points = 10 * floor
+        n_fires = (work - 1) // n_points      # just under the crossover
+        assert n_points * n_fires < work
+        assert dispatch.overlay_workers(4, n_points, n_fires) == 1
+
+    def test_parallel_at_crossover(self):
+        floor = runtime_config.MIN_PARALLEL_POINTS
+        work = floor * dispatch.OVERLAY_WORK_FACTOR
+        n_points = 10 * floor
+        n_fires = -(-work // n_points)        # just over the crossover
+        assert dispatch.overlay_workers(4, n_points, n_fires) == 4
+
+    def test_never_more_than_cpu_budget(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "CPU_COUNT_OVERRIDE", 2)
+        assert dispatch.overlay_workers(16, 10**9, 10**4) == 2
+
+    def test_never_more_than_fires(self):
+        floor = runtime_config.MIN_PARALLEL_POINTS
+        n_points = floor * dispatch.OVERLAY_WORK_FACTOR
+        assert dispatch.overlay_workers(8, n_points, 3) == 3
+
+
+class TestClassifyWorkers:
+    def test_serial_when_one_requested(self):
+        assert dispatch.classify_workers(1, 10**9, 4096) == 1
+
+    def test_serial_below_point_floor(self):
+        assert dispatch.classify_workers(4, 999, 64) == 1
+
+    def test_serial_below_crossover(self):
+        floor = runtime_config.MIN_PARALLEL_POINTS
+        n_points = floor * dispatch.CLASSIFY_WORK_FACTOR - 1
+        assert dispatch.classify_workers(4, n_points, 4096) == 1
+
+    def test_parallel_at_crossover(self):
+        floor = runtime_config.MIN_PARALLEL_POINTS
+        n_points = floor * dispatch.CLASSIFY_WORK_FACTOR
+        assert dispatch.classify_workers(4, n_points, 4096) == 4
+
+    def test_never_more_than_chunks(self):
+        floor = runtime_config.MIN_PARALLEL_POINTS
+        n_points = floor * dispatch.CLASSIFY_WORK_FACTOR
+        assert dispatch.classify_workers(8, n_points, n_points) == 1
+
+    def test_never_more_than_cpu_budget(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "CPU_COUNT_OVERRIDE", 2)
+        floor = runtime_config.MIN_PARALLEL_POINTS
+        n_points = floor * dispatch.CLASSIFY_WORK_FACTOR
+        assert dispatch.classify_workers(8, n_points, 4096) == 2
+
+
+class TestDispatchEndToEnd:
+    def test_small_overlay_never_touches_pool(self):
+        """workers=4 on a sub-crossover join stays strictly serial."""
+        from repro.core.overlay import overlay_fires
+        from repro.data.cells import CellUniverse
+        from repro.data.wildfires import FirePerimeter, star_polygon
+
+        rng = np.random.default_rng(0)
+        n = 2_000
+        cells = CellUniverse(
+            lons=rng.uniform(-112.0, -104.0, n),
+            lats=rng.uniform(33.0, 41.0, n),
+            site_ids=np.arange(n, dtype=np.int64),
+            mcc=np.full(n, 310, dtype=np.int32),
+            mnc=np.zeros(n, dtype=np.int32),
+            provider_group=np.zeros(n, dtype=np.int8),
+            radio=np.zeros(n, dtype=np.int8),
+        )
+        fires = []
+        for i in range(4):
+            poly = star_polygon(rng.uniform(-111, -105),
+                                rng.uniform(34, 40), 200_000.0, rng)
+            fires.append(FirePerimeter(
+                name=f"F{i}", year=2018, start_doy=150, end_doy=160,
+                acres=200_000.0, polygon=poly))
+
+        before = STATS.snapshot()
+        overlay_fires(cells, fires, year=2018, workers=4,
+                      use_cache=False)
+        delta = STATS.delta_since(before)["counters"]
+        assert delta.get("parallel.pool_runs", 0) == 0
+        assert delta.get("pool.created", 0) == 0
+        assert delta.get("parallel.fallbacks", 0) == 0
