@@ -2,7 +2,7 @@
 
 from conftest import print_result
 
-from repro.core.escape import EscapeModel, escape_adjusted_risk
+from repro.core.escape import escape_adjusted_risk
 from repro.core.report import format_table
 
 

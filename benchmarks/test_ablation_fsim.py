@@ -6,7 +6,6 @@ WHP from an actual spread-simulation ensemble and measures how much of
 the production geography it reproduces.
 """
 
-import numpy as np
 
 from conftest import print_result
 

@@ -255,6 +255,84 @@ def test_runtime_pool_reuse(universe):
         f"reused {reused}")
 
 
+def test_runtime_session_reuse(universe):
+    """In-session artifact memo vs recomputing per analysis.
+
+    Six analyses all consume the ``whp_classes`` artifact.  With the
+    shared session it is classified once; invalidating the memo before
+    every analysis replays the pre-session behavior (each analysis
+    re-deriving its own inputs).  The result cache is disabled so the
+    contrast measures real recomputation, and the build counts are
+    asserted — they are the tentpole contract, timings are trajectory.
+    """
+    from repro.core import (
+        future_risk_analysis,
+        hazard_analysis,
+        metro_risk_analysis,
+        population_impact_analysis,
+        provider_risk_analysis,
+        technology_risk_analysis,
+    )
+    from repro.session import session_of
+
+    analyses = (hazard_analysis, provider_risk_analysis,
+                technology_risk_analysis, population_impact_analysis,
+                metro_risk_analysis, future_risk_analysis)
+    session = session_of(universe)
+
+    previous = get_config()
+    configure(cache_enabled=False)
+    set_cache(None)
+    try:
+        # Warm up once so neither timed pass pays one-time costs that
+        # live outside the session memo (point index, state assigner).
+        for fn in analyses:
+            fn(universe)
+        session.invalidate()
+        before = STATS.snapshot()
+        t0 = time.perf_counter()
+        shared_results = [fn(universe) for fn in analyses]
+        with_session_s = time.perf_counter() - t0
+        shared = STATS.delta_since(before)["counters"]
+
+        before = STATS.snapshot()
+        t0 = time.perf_counter()
+        solo_results = []
+        for fn in analyses:
+            session.invalidate()
+            solo_results.append(fn(universe))
+        without_session_s = time.perf_counter() - t0
+        unshared = STATS.delta_since(before)["counters"]
+    finally:
+        session.invalidate()
+        set_config(previous)
+        set_cache(None)
+
+    shared_builds = shared.get("session.miss.whp_classes", 0)
+    unshared_builds = unshared.get("session.miss.whp_classes", 0)
+    assert shared_builds == 1, \
+        "shared session must classify exactly once"
+    assert unshared_builds == len(analyses)
+    assert shared_results[0].class_counts == \
+        solo_results[0].class_counts
+
+    record_timing(
+        "session_reuse",
+        analyses=len(analyses), n_points=len(universe.cells),
+        with_session_s=with_session_s,
+        without_session_s=without_session_s,
+        whp_builds_shared=shared_builds,
+        whp_builds_unshared=unshared_builds,
+        speedup=without_session_s / max(with_session_s, 1e-9))
+    print_result(
+        "RUNTIME — session reuse",
+        f"{len(analyses)} analyses: shared session "
+        f"{with_session_s:.2f}s ({shared_builds} classify) vs "
+        f"memo-invalidated {without_session_s:.2f}s "
+        f"({unshared_builds} classify) -> "
+        f"{without_session_s / max(with_session_s, 1e-9):.1f}x")
+
+
 def test_runtime_repro_all_cold_vs_warm(tmp_path):
     """`python -m repro all` cold vs warm cache (the §2.3 hot path).
 

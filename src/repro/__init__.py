@@ -44,11 +44,13 @@ from .data import (
     default_universe,
     small_universe,
 )
+from .session import AnalysisSession, session_of
 
 __version__ = "1.0.0"
 
 __all__ = [
     "geo", "data", "core", "runtime",
+    "AnalysisSession", "session_of",
     "SyntheticUS", "UniverseConfig", "CellUniverse", "WHPClass",
     "default_universe", "small_universe",
     "historical_analysis", "total_in_perimeters", "case_study_analysis",

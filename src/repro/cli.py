@@ -6,7 +6,14 @@ Reproduce any of the paper's tables and figures from a shell::
     python -m repro fig7
     python -m repro map --figure 6
     python -m repro validate --oversample 16
+    python -m repro list         # show the stage registry
     python -m repro all          # every table and figure
+
+Every subcommand below is generated from the **stage registry**
+(:mod:`repro.session`): each analysis module registers its stage
+(name, CLI options, artifact, renderer), and this module only iterates
+the registrations — ``repro all`` ordering, ``repro list``, and the
+per-stage options all fall out of them.
 
 Counts are printed both raw and rescaled to the paper's 5,364,949-
 transceiver universe; every command prints the paper's number alongside.
@@ -14,8 +21,9 @@ transceiver universe; every command prints the paper's number alongside.
 Runtime knobs (see docs/runtime.md): ``--workers`` shards the spatial
 joins across processes (or set ``REPRO_WORKERS``), ``--no-cache``
 disables result memoization, ``--cache-dir`` adds an on-disk cache tier
-that survives runs, and ``--stats`` prints per-stage wall times and
-index/cache counters after the command.
+that survives runs, and ``--stats`` prints per-stage wall times,
+per-artifact session hit/miss counts, and index/cache counters after
+the command.
 """
 
 from __future__ import annotations
@@ -26,8 +34,34 @@ import sys
 from . import runtime
 from .core import report
 from .data import SyntheticUS, UniverseConfig
+from .session import (
+    AnalysisSession,
+    StageOption,
+    get_stage,
+    iter_stages,
+    register_stage,
+    stages_in_all,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+def _run_map(session: AnalysisSession, args: argparse.Namespace) -> str:
+    """ASCII-map stage: full-control runner over :mod:`repro.viz`."""
+    from .viz import figures
+    figure = getattr(args, "figure", 6)
+    width = getattr(args, "width", 100)
+    fig_fn = {2: figures.figure2, 3: figures.figure3,
+              4: figures.figure4, 6: figures.figure6}[figure]
+    return fig_fn(session.universe, width=width).ascii_art
+
+
+register_stage("map", help="ASCII map of a figure",
+               paper="Figures 2-6", run=_run_map,
+               options=(StageOption("--figure", type=int, default=6,
+                                    choices=(2, 3, 4, 6),
+                                    help="figure number"),
+                        StageOption("--width", type=int, default=100)))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,35 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print runtime perf counters after the run")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="historical analysis (Table 1)")
-    sub.add_parser("table2", help="provider risk (Table 2)")
-    sub.add_parser("table3", help="technology risk (Table 3)")
-    sub.add_parser("fig5", help="2019 case study (Figure 5)")
-    sub.add_parser("fig7", help="WHP hazard counts (Figure 7)")
-    sub.add_parser("fig8", help="top states (Figure 8)")
-    sub.add_parser("fig9", help="per-capita risk (Figure 9)")
-    sub.add_parser("fig10", help="population impact (Figure 10)")
-    sub.add_parser("fig12", help="metro ranking (Figure 12)")
-    sub.add_parser("ecoregions", help="SLC-Denver projections (Figs "
-                                      "14-15)")
+    for stage in iter_stages():
+        stage_parser = sub.add_parser(stage.name, help=stage.help)
+        for opt in stage.options:
+            kwargs: dict = {"type": opt.type, "default": opt.default}
+            if opt.help:
+                kwargs["help"] = opt.help
+            if opt.choices is not None:
+                kwargs["choices"] = opt.choices
+            stage_parser.add_argument(opt.flag, **kwargs)
 
-    validate = sub.add_parser("validate",
-                              help="2019 WHP validation (S3.4)")
-    validate.add_argument("--oversample", type=int, default=8)
-
-    extend = sub.add_parser("extend", help="VH extension (S3.8)")
-    extend.add_argument("--radius-miles", type=float, default=0.5)
-
-    power = sub.add_parser("power", help="power dependency (S3.11)")
-    power.add_argument("--year", type=int, default=2019)
-
-    sub.add_parser("coverage", help="coverage loss (S3.11)")
-
-    fig_map = sub.add_parser("map", help="ASCII map of a figure")
-    fig_map.add_argument("--figure", type=int, default=6,
-                         choices=(2, 3, 4, 6), help="figure number")
-    fig_map.add_argument("--width", type=int, default=100)
-
+    sub.add_parser("list", help="show the stage registry")
     sub.add_parser("all", help="every table and figure")
     return parser
 
@@ -112,73 +128,6 @@ def _configure_runtime(args: argparse.Namespace) -> None:
         runtime.set_cache(None)   # rebuild the cache from the new config
 
 
-def _run_command(command: str, args: argparse.Namespace,
-                 universe: SyntheticUS, out) -> None:
-    from .core import (
-        case_study_analysis,
-        coverage_loss_analysis,
-        extend_very_high,
-        fire_power_impact,
-        future_risk_analysis,
-        hazard_analysis,
-        historical_analysis,
-        metro_risk_analysis,
-        population_impact_analysis,
-        provider_risk_analysis,
-        technology_risk_analysis,
-        validate_whp_2019,
-    )
-
-    if command == "table1":
-        out(report.render_table1(historical_analysis(universe)))
-    elif command == "table2":
-        out(report.render_table2(provider_risk_analysis(universe)))
-    elif command == "table3":
-        out(report.render_table3(technology_risk_analysis(universe)))
-    elif command == "fig5":
-        out(report.render_figure5(case_study_analysis(universe)))
-    elif command == "fig7":
-        out(report.render_figure7(hazard_analysis(universe)))
-    elif command == "fig8":
-        out(report.render_figure8(hazard_analysis(universe)))
-    elif command == "fig9":
-        out(report.render_figure9(hazard_analysis(universe)))
-    elif command == "fig10":
-        out(report.render_figure10(
-            population_impact_analysis(universe)))
-    elif command == "fig12":
-        out(report.render_figure12(metro_risk_analysis(universe)))
-    elif command == "ecoregions":
-        out(report.render_ecoregions(future_risk_analysis(universe)))
-    elif command == "validate":
-        oversample = getattr(args, "oversample", 8)
-        out(report.render_validation(
-            validate_whp_2019(universe, oversample=oversample)))
-    elif command == "extend":
-        radius = getattr(args, "radius_miles", 0.5)
-        out(report.render_extension(
-            extend_very_high(universe, radius_miles=radius)))
-    elif command == "power":
-        impact = fire_power_impact(universe, getattr(args, "year", 2019))
-        out(f"{impact.year}: {impact.sites_direct} sites inside "
-            f"perimeters, {impact.sites_indirect} more lose power "
-            f"({impact.substations_hit} substations hit, "
-            f"{impact.lines_cut} lines cut)")
-    elif command == "coverage":
-        r = coverage_loss_analysis(universe)
-        out(f"baseline coverage {r.covered_share_before:.0%}; losing "
-            f"{r.sites_lost:,} at-risk sites strands "
-            f"{r.population_lost / 1e6:.1f}M people "
-            f"({r.lost_share:.2%} of US)")
-    elif command == "map":
-        from .viz import figures
-        fig_fn = {2: figures.figure2, 3: figures.figure3,
-                  4: figures.figure4, 6: figures.figure6}[args.figure]
-        out(fig_fn(universe, width=args.width).ascii_art)
-    else:
-        raise ValueError(f"unknown command: {command}")
-
-
 def main(argv: list[str] | None = None, stream=None) -> int:
     """CLI entry point.  Returns a process exit code."""
     stream = stream or sys.stdout
@@ -189,17 +138,19 @@ def main(argv: list[str] | None = None, stream=None) -> int:
         print(text, file=stream)
 
     _configure_runtime(args)
-    universe = _universe(args)
+    if args.command == "list":
+        out(report.render_stage_list(iter_stages()))
+        return 0
+
+    session = AnalysisSession(_universe(args))
     if args.command == "all":
-        for command in ("table1", "table2", "table3", "fig5", "fig7",
-                        "fig8", "fig9", "fig10", "fig12", "ecoregions",
-                        "validate", "extend", "power", "coverage"):
-            out(f"\n===== {command} =====")
-            with runtime.STATS.timer(f"cli.{command}"):
-                _run_command(command, args, universe, out)
+        for stage in stages_in_all():
+            out(f"\n===== {stage.name} =====")
+            with runtime.STATS.timer(f"cli.{stage.name}"):
+                out(stage.run(session, args))
     else:
         with runtime.STATS.timer(f"cli.{args.command}"):
-            _run_command(args.command, args, universe, out)
+            out(get_stage(args.command).run(session, args))
     if args.stats:
         out("")
         out(report.render_stats(runtime.STATS.snapshot()))

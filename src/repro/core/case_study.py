@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..data.dirs import DIRS_REPORT_DAYS, DirsSimulation
+from ..data.dirs import DirsSimulation
 from ..data.universe import SyntheticUS
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["CaseStudySummary", "case_study_analysis", "DOY_LABELS",
            "outage_by_county"]
@@ -47,7 +48,12 @@ def case_study_analysis(universe: SyntheticUS,
         -> CaseStudySummary:
     """Aggregate the DIRS simulation into the Figure 5 series."""
     if sim is None:
-        sim = universe.dirs
+        return session_of(universe).artifact("case_study")
+    return _compute_case_study(universe, sim)
+
+
+def _compute_case_study(universe: SyntheticUS,
+                        sim: DirsSimulation) -> CaseStudySummary:
     scale = universe.universe_scale
     scaled = sim.scaled_reports(scale)
 
@@ -99,3 +105,33 @@ def outage_by_county(universe: SyntheticUS,
         out[name] = out.get(name, 0) + 1
     ranked = sorted(out.items(), key=lambda kv: -kv[1])[:top_n]
     return [(name, int(round(count * scale))) for name, count in ranked]
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("case_study")
+def _case_study_artifact(session) -> CaseStudySummary:
+    """Figure 5 daily outage series from the DIRS simulation."""
+    universe = session.universe
+    return _compute_case_study(universe, universe.dirs)
+
+
+def _export_figure5(session, ctx) -> dict:
+    from ..data import paper_constants as paper
+    case = session.artifact("case_study")
+    return {"figure5": {
+        "days": case.days,
+        "power": case.power,
+        "backhaul": case.backhaul,
+        "damage": case.damage,
+        "peak_total": case.peak_total,
+        "peak_power_share": case.peak_power_share,
+        "paper": paper.DIRS_CASE_STUDY,
+    }}
+
+
+register_stage("fig5", help="2019 case study (Figure 5)",
+               paper="Figure 5", artifact="case_study",
+               render="render_figure5", order=40, export=_export_figure5)

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..data.historical_stats import STUDY_YEARS
 from ..data.universe import SyntheticUS
-from .overlay import overlay_fires
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["CountyExposure", "county_exposure_analysis"]
 
@@ -42,18 +42,26 @@ def county_exposure_analysis(universe: SyntheticUS,
                              top_n: int | None = None) \
         -> list[CountyExposure]:
     """Rank counties by historical in-perimeter transceiver exposure."""
-    cells = universe.cells
+    rows = session_of(universe).artifact("county_exposure",
+                                         years=tuple(years))
+    if top_n is not None:
+        rows = rows[:top_n]
+    return rows
+
+
+def _compute_county_exposure(session, years: tuple[int, ...]) \
+        -> list[CountyExposure]:
+    universe = session.universe
     counties = universe.counties
     scale = universe.universe_scale
 
-    county_idx = counties.assign_many(cells.lons, cells.lats)
+    county_idx = session.artifact("county_assignment")
     n_counties = len(counties.counties)
     exposures = np.zeros(n_counties, dtype=np.int64)
     touched = np.zeros(n_counties, dtype=np.int64)
 
     for year in years:
-        season = universe.fire_season(year)
-        result = overlay_fires(cells, season.fires, year=year)
+        result = session.artifact("season_overlay", year=year)
         hit_counties = county_idx[result.in_perimeter_mask]
         hit_counties = hit_counties[hit_counties >= 0]
         if len(hit_counties) == 0:
@@ -73,6 +81,31 @@ def county_exposure_analysis(universe: SyntheticUS,
             years_touched=int(touched[i]),
         ))
     rows.sort(key=lambda r: r.transceiver_exposures, reverse=True)
-    if top_n is not None:
-        rows = rows[:top_n]
     return rows
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("county_assignment",
+          doc="county index per transceiver (assign_many)")
+def _county_assignment_artifact(session) -> np.ndarray:
+    """Shared county index per transceiver (-1 = unassigned)."""
+    universe = session.universe
+    cells = universe.cells
+    return universe.counties.assign_many(cells.lons, cells.lats)
+
+
+@artifact("county_exposure",
+          deps=("season_overlay", "county_assignment"))
+def _county_exposure_artifact(
+        session,
+        years: tuple[int, ...] = STUDY_YEARS) -> list[CountyExposure]:
+    """Counties ranked by historical in-perimeter exposure."""
+    return _compute_county_exposure(session, years)
+
+
+register_stage("counties", help="chronically-exposed counties",
+               paper="§3.3", artifact="county_exposure",
+               render="render_counties")

@@ -24,7 +24,7 @@ import numpy as np
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
 from ..geo.projection import meters_per_degree
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["CoverageResult", "coverage_loss_analysis",
            "estimate_site_radii_m"]
@@ -41,8 +41,16 @@ def estimate_site_radii_m(universe: SyntheticUS,
     ``min_radius_m`` and remote sites reaching ``max_radius_m``.
     Returns radii aligned with ``np.unique(cells.site_ids)`` order.
     """
+    return session_of(universe).artifact("site_radii",
+                                         min_radius_m=min_radius_m,
+                                         max_radius_m=max_radius_m)
+
+
+def _compute_site_radii(session, min_radius_m: float,
+                        max_radius_m: float) -> np.ndarray:
     from scipy import ndimage
 
+    universe = session.universe
     cells = universe.cells
     site_ids, first = np.unique(cells.site_ids, return_index=True)
     lons = cells.lons[first]
@@ -95,14 +103,20 @@ def coverage_loss_analysis(universe: SyntheticUS,
     over their transceivers) is at or above ``hazard_floor`` are
     removed, and the newly-uncovered population counted.
     """
+    return session_of(universe).artifact("coverage",
+                                         hazard_floor=hazard_floor)
+
+
+def _compute_coverage(session, hazard_floor: WHPClass) -> CoverageResult:
+    universe = session.universe
     cells = universe.cells
     pop = universe.population
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
 
     site_ids, first = np.unique(cells.site_ids, return_index=True)
     site_lons = cells.lons[first]
     site_lats = cells.lats[first]
-    radii = estimate_site_radii_m(universe)
+    radii = session.artifact("site_radii")
 
     # Site hazard: max class over the site's transceivers.
     order = np.argsort(cells.site_ids, kind="stable")
@@ -176,3 +190,27 @@ def _coverage_mask(pop, site_lons, site_lats, radii_m) -> np.ndarray:
         inside = (u[None, :] + v[:, None]) <= 1.0
         covered[row0:row1 + 1, col0:col1 + 1] |= inside
     return covered
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("site_radii")
+def _site_radii_artifact(session, min_radius_m: float = 1_500.0,
+                         max_radius_m: float = 40_000.0) -> np.ndarray:
+    """Per-site coverage radius from local site density."""
+    return _compute_site_radii(session, min_radius_m, max_radius_m)
+
+
+@artifact("coverage", deps=("whp_classes", "site_radii"))
+def _coverage_artifact(
+        session,
+        hazard_floor: WHPClass = WHPClass.MODERATE) -> CoverageResult:
+    """S3.11 population-coverage impact of losing at-risk sites."""
+    return _compute_coverage(session, hazard_floor)
+
+
+register_stage("coverage", help="coverage loss (S3.11)",
+               paper="§3.11", artifact="coverage",
+               render="render_coverage", order=140)

@@ -24,7 +24,7 @@ from scipy import ndimage
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
 from ..geo.projection import acres_to_sqmeters, meters_per_degree
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["EscapeModel", "EscapeResult", "escape_adjusted_risk"]
 
@@ -76,7 +76,14 @@ def escape_adjusted_risk(universe: SyntheticUS,
     dilation radius, so the computation is a morphological dilation of
     the at-risk mask by the escape radius.
     """
-    model = model or EscapeModel()
+    return session_of(universe).artifact(
+        "escape", model=model or EscapeModel(),
+        reach_probability=reach_probability)
+
+
+def _compute_escape(session, model: EscapeModel,
+                    reach_probability: float) -> EscapeResult:
+    universe = session.universe
     whp = universe.whp
     cells = universe.cells
     scale = universe.universe_scale
@@ -98,7 +105,7 @@ def escape_adjusted_risk(universe: SyntheticUS,
     land = whp.fuel.data > 0
     reachable &= land
 
-    classes = classify_cells(cells, whp)
+    classes = session.artifact("whp_classes")
     static = classes >= int(WHPClass.MODERATE)
 
     rows, cols = grid.rowcol(cells.lons, cells.lats)
@@ -113,3 +120,19 @@ def escape_adjusted_risk(universe: SyntheticUS,
         escape_adjusted_at_risk=int(round(adjusted.sum() * scale)),
         added_transceivers=int(round((adjusted & ~static).sum() * scale)),
     )
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("escape", deps=("whp_classes",))
+def _escape_artifact(session, model: EscapeModel | None = None,
+                     reach_probability: float = 0.05) -> EscapeResult:
+    """Escape-adjusted (HOT power-law) at-risk set."""
+    return _compute_escape(session, model or EscapeModel(),
+                           reach_probability)
+
+
+register_stage("escape", help="escape-adjusted risk (HOT model)",
+               paper="§3.11", artifact="escape", render="render_escape")

@@ -4,6 +4,11 @@ Dumps every reproduced table and figure into one JSON document — the
 artifact a CI job archives so result drift is diffable across commits.
 The document carries the universe configuration, the library version,
 and a paper-vs-measured entry per experiment.
+
+The per-experiment entries are assembled by iterating the **stage
+registry** (:mod:`repro.session`): every stage that registered an
+``export`` hook contributes its entries, pulling shared artifacts
+through the ambient session so nothing is computed twice.
 """
 
 from __future__ import annotations
@@ -13,18 +18,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
-from ..data import paper_constants as paper
 from ..data.universe import SyntheticUS
-from .case_study import case_study_analysis
-from .extension import extend_very_high
-from .future import future_risk_analysis
-from .hazard import hazard_analysis, population_served_at_risk
-from .historical import historical_analysis, total_in_perimeters
-from .metro import city_very_high_counts, metro_risk_analysis
-from .population_impact import population_impact_analysis
-from .provider_risk import provider_risk_analysis, regional_carriers_at_risk
-from .technology import technology_risk_analysis
-from .validation import validate_whp_2019
+from ..session import iter_stages, session_of
 
 __all__ = ["export_results", "run_all_experiments",
            "render_markdown_report"]
@@ -32,95 +27,19 @@ __all__ = ["export_results", "run_all_experiments",
 
 def run_all_experiments(universe: SyntheticUS,
                         validation_oversample: int = 8) -> dict[str, Any]:
-    """Run every pipeline and assemble the results document."""
+    """Run every registered exporter and assemble the results document."""
     from .. import __version__
 
-    hazard = hazard_analysis(universe)
-    table1 = historical_analysis(universe)
-    total_perims, _ = total_in_perimeters(universe)
-    case = case_study_analysis(universe)
-    validation = validate_whp_2019(universe,
-                                   oversample=validation_oversample)
-    extension = extend_very_high(universe)
-    impact = population_impact_analysis(universe)
-
+    session = session_of(universe)
+    ctx = {"validation_oversample": validation_oversample}
     doc: dict[str, Any] = {
         "library_version": __version__,
         "config": asdict(universe.config),
         "universe_scale": universe.universe_scale,
-        "table1": {
-            "rows": [asdict(r) for r in table1],
-            "total_in_perimeters": total_perims,
-            "paper_total": paper.TOTAL_IN_PERIMETERS_2000_2018,
-        },
-        "figure5": {
-            "days": case.days,
-            "power": case.power,
-            "backhaul": case.backhaul,
-            "damage": case.damage,
-            "peak_total": case.peak_total,
-            "peak_power_share": case.peak_power_share,
-            "paper": paper.DIRS_CASE_STUDY,
-        },
-        "figure7": {
-            "class_counts": hazard.class_counts,
-            "at_risk_total": hazard.at_risk_total,
-            "population_served": population_served_at_risk(universe,
-                                                           hazard),
-            "paper_counts": paper.WHP_AT_RISK_COUNTS,
-            "paper_total": paper.WHP_AT_RISK_TOTAL,
-        },
-        "figure8": {
-            "states": [asdict(s) for s in hazard.states[:15]],
-            "paper_top_moderate": list(paper.TOP_MODERATE_STATES),
-        },
-        "validation_s34": {
-            "in_perimeter_total": validation.in_perimeter_total,
-            "accuracy": validation.accuracy,
-            "missed_in_la_fires": validation.missed_in_la_fires,
-            "missed": validation.missed,
-            "paper": paper.VALIDATION_2019,
-        },
-        "extension_s38": {
-            "vh_before": extension.vh_before,
-            "vh_after": extension.vh_after,
-            "total_before": extension.total_before,
-            "total_after": extension.total_after,
-            "accuracy_before": extension.validation_before.accuracy,
-            "accuracy_after": extension.validation_after.accuracy,
-            "paper": paper.EXTENSION_HALF_MILE,
-        },
-        "table2": {
-            "rows": [asdict(r) for r in provider_risk_analysis(universe)],
-            "regional_carriers": regional_carriers_at_risk(universe),
-            "paper": {k: {c: list(v) for c, v in d.items()}
-                      for k, d in paper.TABLE2_PROVIDER_RISK.items()},
-        },
-        "table3": {
-            "rows": [asdict(r)
-                     for r in technology_risk_analysis(universe)],
-            "paper": {k: list(v)
-                      for k, v in paper.TABLE3_TECHNOLOGY_RISK.items()},
-        },
-        "figure10": {
-            "matrix": impact.matrix,
-            "at_risk_in_vh_pop_counties":
-                impact.at_risk_in_vh_pop_counties,
-            "n_vh_pop_counties": impact.n_vh_pop_counties,
-            "paper": paper.POP_IMPACT,
-        },
-        "figure12": {
-            "metros": [asdict(m) for m in metro_risk_analysis(universe)],
-        },
-        "cities_s36": {
-            "counts": city_very_high_counts(universe),
-            "paper": paper.CITY_VERY_HIGH_COUNTS,
-        },
-        "ecoregions_s39": {
-            "rows": [asdict(r) for r in future_risk_analysis(universe)],
-            "paper_deltas": paper.ECOREGION_DELTAS,
-        },
     }
+    for stage in iter_stages():
+        if stage.export is not None:
+            doc.update(stage.export(session, ctx))
     return doc
 
 

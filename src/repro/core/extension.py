@@ -23,8 +23,8 @@ from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
 from ..geo.projection import miles_to_meters
 from ..geo.raster import disk_footprint
-from .overlay import classify_cells
-from .validation import ValidationResult, validate_whp_2019
+from ..session import StageOption, artifact, register_stage, session_of
+from .validation import ValidationResult, _compute_validation
 
 __all__ = ["ExtensionResult", "extend_very_high"]
 
@@ -89,6 +89,12 @@ def extend_very_high(universe: SyntheticUS,
     the extended very high region that overlaps with the high or moderate
     regions").
     """
+    return session_of(universe).artifact("extension",
+                                         radius_miles=radius_miles)
+
+
+def _compute_extension(session, radius_miles: float) -> ExtensionResult:
+    universe = session.universe
     whp = universe.whp
     cells = universe.cells
     scale = universe.universe_scale
@@ -103,7 +109,7 @@ def extend_very_high(universe: SyntheticUS,
     at_risk_before = whp.at_risk_mask()
     at_risk_after = at_risk_before | vh_extended
 
-    classes = classify_cells(cells, whp)
+    classes = session.artifact("whp_classes")
     grid = whp.grid
     rows, cols = grid.rowcol(cells.lons, cells.lats)
     ok = grid.inside(rows, cols)
@@ -120,9 +126,9 @@ def extend_very_high(universe: SyntheticUS,
         (classes >= int(WHPClass.MODERATE)).sum() * scale))
     total_after = int(round(in_at_risk_after.sum() * scale))
 
-    validation_before = validate_whp_2019(universe)
-    validation_after = validate_whp_2019(
-        universe, at_risk_mask_override=at_risk_after)
+    validation_before = session.artifact("validation")
+    validation_after = _compute_validation(
+        session, WHPClass.MODERATE, at_risk_after, 8)
 
     return ExtensionResult(
         radius_miles=radius_miles,
@@ -133,3 +139,36 @@ def extend_very_high(universe: SyntheticUS,
         validation_before=validation_before,
         validation_after=validation_after,
     )
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("extension", deps=("whp_classes", "validation"))
+def _extension_artifact(session,
+                        radius_miles: float = 0.5) -> ExtensionResult:
+    """S3.8 very-high buffer extension before/after counts."""
+    return _compute_extension(session, radius_miles)
+
+
+def _export_extension(session, ctx) -> dict:
+    from ..data import paper_constants as paper
+    ext = session.artifact("extension")
+    return {"extension_s38": {
+        "vh_before": ext.vh_before,
+        "vh_after": ext.vh_after,
+        "total_before": ext.total_before,
+        "total_after": ext.total_after,
+        "accuracy_before": ext.validation_before.accuracy,
+        "accuracy_after": ext.validation_after.accuracy,
+        "paper": paper.EXTENSION_HALF_MILE,
+    }}
+
+
+register_stage("extend", help="very-high buffer extension (S3.8)",
+               paper="§3.8", artifact="extension",
+               render="render_extension", order=120,
+               options=(StageOption("--radius-miles", type=float,
+                                    default=0.5),),
+               params=("radius_miles",), export=_export_extension)

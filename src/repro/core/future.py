@@ -14,10 +14,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..data.ecoregions import Ecoregion, slc_denver_ecoregions, slc_denver_window
+from ..data.ecoregions import slc_denver_ecoregions, slc_denver_window
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["EcoregionExposure", "future_risk_analysis"]
 
@@ -46,8 +46,13 @@ def future_risk_analysis(universe: SyntheticUS) -> list[EcoregionExposure]:
     in area burned to the currently at-risk count as a first-order
     exposure index (clamped at zero for decreasing regions).
     """
+    return session_of(universe).artifact("future_risk")
+
+
+def _compute_future_risk(session) -> list[EcoregionExposure]:
+    universe = session.universe
     cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
     scale = universe.universe_scale
     window = slc_denver_window()
     in_window = window.contains_many(cells.lons, cells.lats)
@@ -77,3 +82,29 @@ def future_risk_analysis(universe: SyntheticUS) -> list[EcoregionExposure]:
         ))
     rows.sort(key=lambda r: -r.delta_2040_pct)
     return rows
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("future_risk", deps=("whp_classes",))
+def _future_risk_artifact(session) -> list[EcoregionExposure]:
+    """S3.9 per-ecoregion exposure in the SLC-Denver window."""
+    return _compute_future_risk(session)
+
+
+def _export_ecoregions(session, ctx) -> dict:
+    from dataclasses import asdict
+
+    from ..data import paper_constants as paper
+    return {"ecoregions_s39": {
+        "rows": [asdict(r) for r in session.artifact("future_risk")],
+        "paper_deltas": paper.ECOREGION_DELTAS,
+    }}
+
+
+register_stage("ecoregions", help="SLC-Denver projections (Figs 14-15)",
+               paper="Figures 14-15", artifact="future_risk",
+               render="render_ecoregions", order=100,
+               export=_export_ecoregions)

@@ -16,7 +16,7 @@ from ..data.states import StateAssigner, conus_states
 from ..data.universe import SyntheticUS
 from ..data.whp import AT_RISK_CLASSES, WHP_CLASS_NAMES, WHPClass
 from ..runtime.stats import STATS
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["HazardSummary", "StateHazard", "hazard_analysis",
            "population_served_at_risk"]
@@ -84,9 +84,14 @@ class HazardSummary:
 
 
 def hazard_analysis(universe: SyntheticUS) -> HazardSummary:
-    """Run the Figure 7/8/9 pipeline."""
+    """Run the Figure 7/8/9 pipeline (one shared result per session)."""
+    return session_of(universe).artifact("hazard")
+
+
+def _compute_hazard(session) -> HazardSummary:
+    universe = session.universe
     cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
     scale = universe.universe_scale
 
     class_counts_raw = {}
@@ -134,11 +139,66 @@ def population_served_at_risk(universe: SyntheticUS,
     county population as the service index).
     """
     if summary is None:
-        summary = hazard_analysis(universe)
-    cells = universe.cells
+        return session_of(universe).artifact("population_served")
+    return _population_served(session_of(universe), summary)
+
+
+def _population_served(session, summary: HazardSummary) -> int:
+    universe = session.universe
     at_risk = summary.classes_per_transceiver >= int(WHPClass.MODERATE)
     counties = universe.counties
-    idx = counties.assign_many(cells.lons[at_risk], cells.lats[at_risk])
-    idx = np.unique(idx[idx >= 0])
+    county_idx = session.artifact("county_assignment")
+    idx = np.unique(county_idx[at_risk])
+    idx = idx[idx >= 0]
     pops = counties.populations()
     return int(pops[idx].sum())
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("hazard", deps=("whp_classes",))
+def _hazard_artifact(session) -> HazardSummary:
+    """National + per-state WHP hazard summary (Figures 7-9)."""
+    return _compute_hazard(session)
+
+
+@artifact("population_served", deps=("hazard", "county_assignment"))
+def _population_served_artifact(session) -> int:
+    """S3.3 population of counties holding at-risk transceivers."""
+    return _population_served(session, session.artifact("hazard"))
+
+
+def _export_figure7(session, ctx) -> dict:
+    from ..data import paper_constants as paper
+    hazard = session.artifact("hazard")
+    return {"figure7": {
+        "class_counts": hazard.class_counts,
+        "at_risk_total": hazard.at_risk_total,
+        "population_served": session.artifact("population_served"),
+        "paper_counts": paper.WHP_AT_RISK_COUNTS,
+        "paper_total": paper.WHP_AT_RISK_TOTAL,
+    }}
+
+
+def _export_figure8(session, ctx) -> dict:
+    from dataclasses import asdict
+
+    from ..data import paper_constants as paper
+    hazard = session.artifact("hazard")
+    return {"figure8": {
+        "states": [asdict(s) for s in hazard.states[:15]],
+        "paper_top_moderate": list(paper.TOP_MODERATE_STATES),
+    }}
+
+
+register_stage("fig7", help="WHP hazard counts (Figure 7)",
+               paper="Figure 7", artifact="hazard",
+               render="render_figure7", order=50, export=_export_figure7)
+register_stage("fig8", help="top states (Figure 8)",
+               paper="Figure 8", artifact="hazard",
+               render="render_figure8", order=60, export=_export_figure8)
+register_stage("fig9", help="per-capita risk (Figure 9)",
+               paper="Figure 9", artifact="hazard",
+               render="render_figure9", order=70)

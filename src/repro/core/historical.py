@@ -14,7 +14,7 @@ import numpy as np
 
 from ..data.historical_stats import STUDY_YEARS, year_stats
 from ..data.universe import SyntheticUS
-from .overlay import FireOverlayResult, overlay_fires
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["Table1Row", "historical_analysis", "total_in_perimeters"]
 
@@ -35,11 +35,34 @@ def historical_analysis(universe: SyntheticUS,
                         years: tuple[int, ...] = STUDY_YEARS) \
         -> list[Table1Row]:
     """Build Table 1 (most-recent year first, as in the paper)."""
+    return session_of(universe).artifact("table1", years=tuple(years))
+
+
+def total_in_perimeters(universe: SyntheticUS,
+                        years: tuple[int, ...] = STUDY_YEARS) \
+        -> tuple[int, np.ndarray]:
+    """Figure 4: union of transceivers inside any perimeter, 2000-2018.
+
+    Returns (scaled count, union mask over the universe).
+    """
+    return session_of(universe).artifact("perimeter_union",
+                                         years=tuple(years))
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("table1", deps=("season_overlay",))
+def _table1_artifact(session,
+                     years: tuple[int, ...] = STUDY_YEARS) \
+        -> list[Table1Row]:
+    """Table 1 rows, one per study year (shared season overlays)."""
+    universe = session.universe
     rows = []
     scale = universe.universe_scale
     for year in years:
-        season = universe.fire_season(year)
-        result = overlay_fires(universe.cells, season.fires, year=year)
+        result = session.artifact("season_overlay", year=year)
         stats = year_stats(year)
         scaled = result.scaled_count(scale)
         rows.append(Table1Row(
@@ -53,17 +76,33 @@ def historical_analysis(universe: SyntheticUS,
     return sorted(rows, key=lambda r: -r.year)
 
 
-def total_in_perimeters(universe: SyntheticUS,
-                        years: tuple[int, ...] = STUDY_YEARS) \
+@artifact("perimeter_union", deps=("season_overlay",))
+def _perimeter_union_artifact(session,
+                              years: tuple[int, ...] = STUDY_YEARS) \
         -> tuple[int, np.ndarray]:
-    """Figure 4: union of transceivers inside any perimeter, 2000-2018.
-
-    Returns (scaled count, union mask over the universe).
-    """
+    """(scaled count, union mask) of transceivers in any perimeter."""
+    universe = session.universe
     union = np.zeros(len(universe.cells), dtype=bool)
     for year in years:
-        season = universe.fire_season(year)
-        result = overlay_fires(universe.cells, season.fires, year=year)
+        result = session.artifact("season_overlay", year=year)
         union |= result.in_perimeter_mask
     scaled = int(round(union.sum() * universe.universe_scale))
     return scaled, union
+
+
+def _export_table1(session, ctx) -> dict:
+    from dataclasses import asdict
+
+    from ..data import paper_constants as paper
+    rows = session.artifact("table1")
+    total, _ = session.artifact("perimeter_union")
+    return {"table1": {
+        "rows": [asdict(r) for r in rows],
+        "total_in_perimeters": total,
+        "paper_total": paper.TOTAL_IN_PERIMETERS_2000_2018,
+    }}
+
+
+register_stage("table1", help="historical analysis (Table 1)",
+               paper="Table 1", artifact="table1",
+               render="render_table1", order=10, export=_export_table1)

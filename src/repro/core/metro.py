@@ -19,8 +19,7 @@ from ..data.cities import PAPER_METROS, city_by_name
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
 from ..geo.projection import haversine_m
-from .overlay import classify_cells
-from .population_impact import population_impact_analysis
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["MetroRisk", "metro_risk_analysis", "city_very_high_counts",
            "CITY_GROUPS", "DEFAULT_METRO_RADIUS_M"]
@@ -76,8 +75,14 @@ def metro_risk_analysis(universe: SyntheticUS,
                         radius_m: float = DEFAULT_METRO_RADIUS_M) \
         -> list[MetroRisk]:
     """Figure 12: metros ranked by at-risk transceivers."""
-    cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    return session_of(universe).artifact(
+        "metro_risk", metros=tuple(metros), radius_m=radius_m)
+
+
+def _compute_metro_risk(session, metros: tuple[str, ...],
+                        radius_m: float) -> list[MetroRisk]:
+    universe = session.universe
+    classes = session.artifact("whp_classes")
     scale = universe.universe_scale
     metro_idx = _assign_metro(universe, metros, radius_m)
 
@@ -100,8 +105,13 @@ def city_very_high_counts(universe: SyntheticUS,
                           radius_m: float = DEFAULT_METRO_RADIUS_M) \
         -> dict[str, int]:
     """§3.6: WHP-VH transceivers in >1.5M counties, grouped by city."""
-    impact = population_impact_analysis(universe)
-    cells = universe.cells
+    return session_of(universe).artifact("city_vh_counts",
+                                         radius_m=radius_m)
+
+
+def _compute_city_vh_counts(session, radius_m: float) -> dict[str, int]:
+    universe = session.universe
+    impact = session.artifact("population_impact")
     scale = universe.universe_scale
 
     flat_names: list[str] = []
@@ -118,3 +128,46 @@ def city_very_high_counts(universe: SyntheticUS,
         raw = int((mask & (metro_idx == i)).sum())
         counts[group] += int(round(raw * scale))
     return counts
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("metro_risk", deps=("whp_classes",))
+def _metro_risk_artifact(session,
+                         metros: tuple[str, ...] = PAPER_METROS,
+                         radius_m: float = DEFAULT_METRO_RADIUS_M) \
+        -> list[MetroRisk]:
+    """Figure 12 metro ranking."""
+    return _compute_metro_risk(session, metros, radius_m)
+
+
+@artifact("city_vh_counts", deps=("population_impact",))
+def _city_vh_counts_artifact(
+        session, radius_m: float = DEFAULT_METRO_RADIUS_M) \
+        -> dict[str, int]:
+    """S3.6 per-city WHP-VH x very-dense-county counts."""
+    return _compute_city_vh_counts(session, radius_m)
+
+
+def _export_figure12(session, ctx) -> dict:
+    from dataclasses import asdict
+
+    from ..data import paper_constants as paper
+    return {
+        "figure12": {
+            "metros": [asdict(m)
+                       for m in session.artifact("metro_risk")],
+        },
+        "cities_s36": {
+            "counts": session.artifact("city_vh_counts"),
+            "paper": paper.CITY_VERY_HIGH_COUNTS,
+        },
+    }
+
+
+register_stage("fig12", help="metro ranking (Figure 12)",
+               paper="Figure 12", artifact="metro_risk",
+               render="render_figure12", order=90,
+               export=_export_figure12)

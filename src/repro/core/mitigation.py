@@ -23,10 +23,9 @@ from enum import Enum
 
 import numpy as np
 
-from ..data.counties import PopCategory
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["MitigationAction", "SiteRisk", "rank_sites", "MitigationPlan",
            "mitigation_plan"]
@@ -71,10 +70,18 @@ def rank_sites(universe: SyntheticUS, top_n: int | None = None) \
 
     Score = hazard weight × log10(county population) × tenancy factor.
     """
+    sites = session_of(universe).artifact("site_ranking")
+    if top_n is not None:
+        sites = sites[:top_n]
+    return sites
+
+
+def _compute_site_ranking(session) -> list[SiteRisk]:
+    universe = session.universe
     cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
     counties = universe.counties
-    county_idx = counties.assign_many(cells.lons, cells.lats)
+    county_idx = session.artifact("county_assignment")
     county_pops = counties.populations()
 
     order = np.argsort(cells.site_ids, kind="stable")
@@ -103,8 +110,6 @@ def rank_sites(universe: SyntheticUS, top_n: int | None = None) \
             score=float(score),
         ))
     sites.sort(key=lambda s: s.score, reverse=True)
-    if top_n is not None:
-        sites = sites[:top_n]
     return sites
 
 
@@ -154,3 +159,18 @@ def mitigation_plan(universe: SyntheticUS,
         covered_transceivers=covered_tx,
         covered_population=covered_pop,
     )
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("site_ranking", deps=("whp_classes", "county_assignment"))
+def _site_ranking_artifact(session) -> list[SiteRisk]:
+    """Every at-risk site scored and ranked (S3.10)."""
+    return _compute_site_ranking(session)
+
+
+register_stage("mitigation", help="site hardening ranking (S3.10)",
+               paper="§3.10", artifact="site_ranking",
+               render="render_mitigation")

@@ -49,6 +49,7 @@ from ..runtime import (
     run_tasks,
 )
 from ..runtime.stats import STATS
+from ..session import artifact
 
 __all__ = ["FireOverlayResult", "overlay_fires", "overlay_fires_bruteforce",
            "classify_cells", "fires_token"]
@@ -337,6 +338,31 @@ def classify_cells(cells: CellUniverse, whp: WhpModel, *,
     if use_cache and key is not None:
         get_cache().put(key, {"classes": classes})
     return classes
+
+
+# ----------------------------------------------------------------------
+# Session artifacts: the two shared primitives of the analysis DAG.
+# Every analysis that needs the WHP classification or a season's
+# perimeter join fetches these through the session, so each is invoked
+# exactly once per session regardless of how many stages consume it.
+# The wrappers call the module-level functions by name (late-bound), so
+# tests can spy on `overlay.classify_cells` / `overlay.overlay_fires`.
+# ----------------------------------------------------------------------
+
+@artifact("whp_classes",
+          doc="WHP class code per transceiver (classify_cells)")
+def _whp_classes_artifact(session) -> np.ndarray:
+    universe = session.universe
+    return classify_cells(universe.cells, universe.whp)
+
+
+@artifact("season_overlay",
+          doc="one year's transceiver x fire-perimeter join")
+def _season_overlay_artifact(session, year: int = 2019) \
+        -> FireOverlayResult:
+    universe = session.universe
+    return overlay_fires(universe.cells, universe.fire_season(year).fires,
+                         year=year)
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@ import numpy as np
 from ..data.counties import POP_CATEGORY_NAMES, PopCategory
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["PopulationImpact", "population_impact_analysis"]
 
@@ -39,12 +39,17 @@ class PopulationImpact:
 
 def population_impact_analysis(universe: SyntheticUS) -> PopulationImpact:
     """Run the §3.6 pipeline."""
+    return session_of(universe).artifact("population_impact")
+
+
+def _compute_population_impact(session) -> PopulationImpact:
+    universe = session.universe
     cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
     counties = universe.counties
     scale = universe.universe_scale
 
-    county_idx = counties.assign_many(cells.lons, cells.lats)
+    county_idx = session.artifact("county_assignment")
     county_cats = counties.categories()
     cat_per_cell = np.full(len(cells), int(PopCategory.RURAL),
                            dtype=np.int8)
@@ -81,3 +86,30 @@ def population_impact_analysis(universe: SyntheticUS) -> PopulationImpact:
         panel_vh_pop_mask=panel_vh_pop,
         panel_vh_both_mask=panel_vh_both,
     )
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("population_impact", deps=("whp_classes", "county_assignment"))
+def _population_impact_artifact(session) -> PopulationImpact:
+    """Figure 10 WHP x county-density matrix plus panel masks."""
+    return _compute_population_impact(session)
+
+
+def _export_figure10(session, ctx) -> dict:
+    from ..data import paper_constants as paper
+    impact = session.artifact("population_impact")
+    return {"figure10": {
+        "matrix": impact.matrix,
+        "at_risk_in_vh_pop_counties": impact.at_risk_in_vh_pop_counties,
+        "n_vh_pop_counties": impact.n_vh_pop_counties,
+        "paper": paper.POP_IMPACT,
+    }}
+
+
+register_stage("fig10", help="population impact (Figure 10)",
+               paper="Figure 10", artifact="population_impact",
+               render="render_figure10", order=80,
+               export=_export_figure10)

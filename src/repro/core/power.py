@@ -29,23 +29,17 @@ import numpy as np
 from ..data.powergrid import PowerGrid, build_power_grid
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
+from ..session import StageOption, artifact, register_stage, session_of
 
 __all__ = ["PowerImpact", "fire_power_impact", "PspsExposure",
            "psps_exposure", "power_grid_for"]
 
-_GRID_CACHE: dict[int, PowerGrid] = {}
-
 
 def power_grid_for(universe: SyntheticUS,
                    n_substations: int = 400) -> PowerGrid:
-    """Build (and cache per-universe) the synthetic power grid."""
-    key = id(universe) ^ n_substations
-    if key not in _GRID_CACHE:
-        _GRID_CACHE[key] = build_power_grid(
-            universe.population, universe.cells,
-            n_substations=n_substations,
-            seed=universe.config.seed + 5)
-    return _GRID_CACHE[key]
+    """Build (and memoize per-session) the synthetic power grid."""
+    return session_of(universe).artifact("power_grid",
+                                         n_substations=n_substations)
 
 
 @dataclass
@@ -70,8 +64,15 @@ def fire_power_impact(universe: SyntheticUS, year: int = 2019,
     event).  Sites inside perimeters are direct; sites outside that
     lose upstream power are indirect.
     """
+    session = session_of(universe)
     if grid is None:
-        grid = power_grid_for(universe)
+        return session.artifact("power_impact", year=year)
+    return _compute_power_impact(session, year, grid)
+
+
+def _compute_power_impact(session, year: int,
+                          grid: PowerGrid) -> PowerImpact:
+    universe = session.universe
     cells = universe.cells
     season = universe.fire_season(year)
 
@@ -138,8 +139,15 @@ def psps_exposure(universe: SyntheticUS,
     grid traverses an at-risk line — i.e. de-energizing the candidate
     lines leaves it dark.
     """
+    session = session_of(universe)
     if grid is None:
-        grid = power_grid_for(universe)
+        return session.artifact("psps", hazard_floor=hazard_floor)
+    return _compute_psps(session, grid, hazard_floor)
+
+
+def _compute_psps(session, grid: PowerGrid,
+                  hazard_floor: WHPClass) -> PspsExposure:
+    universe = session.universe
     whp = universe.whp
     mask = whp.raster.data >= int(hazard_floor)
     candidates = set(int(i) for i in grid.lines_crossing_mask(whp, mask))
@@ -153,3 +161,43 @@ def psps_exposure(universe: SyntheticUS,
         sites_total=n_sites,
         exposed_share=len(dead) / max(n_sites, 1),
     )
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("power_grid")
+def _power_grid_artifact(session, n_substations: int = 400) -> PowerGrid:
+    """Synthetic power grid shared by the S3.11 power analyses."""
+    universe = session.universe
+    return build_power_grid(
+        universe.population, universe.cells,
+        n_substations=n_substations,
+        seed=universe.config.seed + 5)
+
+
+@artifact("power_impact", deps=("power_grid",))
+def _power_impact_artifact(session, year: int = 2019) -> PowerImpact:
+    """Direct vs power-mediated site outages for one fire season."""
+    return _compute_power_impact(session, year,
+                                 session.artifact("power_grid"))
+
+
+@artifact("psps", deps=("power_grid",))
+def _psps_artifact(session,
+                   hazard_floor: WHPClass = WHPClass.HIGH) -> PspsExposure:
+    """Standing PSPS exposure of the network."""
+    return _compute_psps(session, session.artifact("power_grid"),
+                         hazard_floor)
+
+
+register_stage("power", help="power dependency (S3.11)",
+               paper="§3.11", artifact="power_impact",
+               render="render_power", order=130,
+               options=(StageOption("--year", type=int, default=2019),),
+               params=("year",))
+
+
+register_stage("psps", help="PSPS shutoff exposure (S3.10-3.11)",
+               paper="§3.10", artifact="psps", render="render_psps")

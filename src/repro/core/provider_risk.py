@@ -10,13 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..data.cells import PROVIDER_GROUPS
 from ..data.providers import MAJOR_PROVIDERS, provider_registry
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["ProviderRisk", "provider_risk_analysis",
            "regional_carriers_at_risk"]
@@ -48,8 +47,13 @@ class ProviderRisk:
 
 def provider_risk_analysis(universe: SyntheticUS) -> list[ProviderRisk]:
     """Build Table 2 rows in the paper's provider order."""
+    return session_of(universe).artifact("provider_risk")
+
+
+def _compute_provider_risk(session) -> list[ProviderRisk]:
+    universe = session.universe
     cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
     scale = universe.universe_scale
     rows = []
     for code, name in enumerate(PROVIDER_GROUPS):
@@ -73,8 +77,13 @@ def regional_carriers_at_risk(universe: SyntheticUS) -> int:
     The paper's footnote 1 reports 46.  A carrier counts when at least
     one of its transceivers (identified by PLMN) is in a moderate+ cell.
     """
+    return session_of(universe).artifact("regional_carriers")
+
+
+def _compute_regional_carriers(session) -> int:
+    universe = session.universe
     cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
     at_risk = classes >= int(WHPClass.MODERATE)
     others = cells.provider_group == PROVIDER_GROUPS.index("Others")
     mask = at_risk & others
@@ -89,3 +98,36 @@ def regional_carriers_at_risk(universe: SyntheticUS) -> int:
         if owner is not None:
             carriers.add(owner)
     return len(carriers)
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("provider_risk", deps=("whp_classes",))
+def _provider_risk_artifact(session) -> list[ProviderRisk]:
+    """Table 2 rows: per-provider at-risk counts."""
+    return _compute_provider_risk(session)
+
+
+@artifact("regional_carriers", deps=("whp_classes",))
+def _regional_carriers_artifact(session) -> int:
+    """Footnote 1: distinct regional carriers with at-risk gear."""
+    return _compute_regional_carriers(session)
+
+
+def _export_table2(session, ctx) -> dict:
+    from dataclasses import asdict
+
+    from ..data import paper_constants as paper
+    return {"table2": {
+        "rows": [asdict(r) for r in session.artifact("provider_risk")],
+        "regional_carriers": session.artifact("regional_carriers"),
+        "paper": {k: {c: list(v) for c, v in d.items()}
+                  for k, d in paper.TABLE2_PROVIDER_RISK.items()},
+    }}
+
+
+register_stage("table2", help="provider risk (Table 2)",
+               paper="Table 2", artifact="provider_risk",
+               render="render_table2", order=20, export=_export_table2)

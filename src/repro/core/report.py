@@ -25,6 +25,7 @@ from .validation import ValidationResult
 __all__ = [
     "format_table",
     "render_stats",
+    "render_stage_list",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -37,6 +38,12 @@ __all__ = [
     "render_validation",
     "render_extension",
     "render_ecoregions",
+    "render_power",
+    "render_coverage",
+    "render_psps",
+    "render_escape",
+    "render_mitigation",
+    "render_counties",
 ]
 
 
@@ -87,7 +94,30 @@ def render_stats(snapshot: dict) -> str:
                              f"{counters.get('index.hits', 0) / cand:.1%}"])
     if counter_rows:
         out.append(format_table(["Counter", "Value"], counter_rows))
+
+    art_names = sorted({name.split(".", 2)[2] for name in counters
+                        if name.startswith(("session.hit.",
+                                            "session.miss."))})
+    if art_names:
+        art_rows = [[name,
+                     f"{counters.get(f'session.hit.{name}', 0):,}",
+                     f"{counters.get(f'session.miss.{name}', 0):,}",
+                     f"{timers.get(f'artifact.{name}', 0.0):.3f}"]
+                    for name in art_names]
+        out.append(format_table(
+            ["Artifact", "Hits", "Builds", "Seconds"], art_rows))
     return "\n".join(out)
+
+
+def render_stage_list(stages) -> str:
+    """``repro list``: the stage registry as a monospace table."""
+    body = []
+    for stage in stages:
+        deps = ", ".join(stage.deps) if stage.artifact else "-"
+        in_all = "yes" if stage.order is not None else "-"
+        body.append([stage.name, stage.paper, in_all, deps])
+    return format_table(["Stage", "Paper", "In 'all'", "Artifacts"],
+                        body)
 
 
 def render_table1(rows: list[Table1Row]) -> str:
@@ -257,3 +287,57 @@ def render_ecoregions(rows: list[EcoregionExposure]) -> str:
     return format_table(
         ["Code", "Ecoregion", "Δ2040", "Transceivers", "At-risk",
          "Projected"], body)
+
+
+def render_power(impact) -> str:
+    """§3.11 power-dependency one-liner."""
+    return (f"{impact.year}: {impact.sites_direct} sites inside "
+            f"perimeters, {impact.sites_indirect} more lose power "
+            f"({impact.substations_hit} substations hit, "
+            f"{impact.lines_cut} lines cut)")
+
+
+def render_coverage(r) -> str:
+    """§3.11 coverage-loss one-liner."""
+    return (f"baseline coverage {r.covered_share_before:.0%}; losing "
+            f"{r.sites_lost:,} at-risk sites strands "
+            f"{r.population_lost / 1e6:.1f}M people "
+            f"({r.lost_share:.2%} of US)")
+
+
+def render_psps(exposure) -> str:
+    """§3.10 PSPS shutoff-exposure one-liner."""
+    return (f"{exposure.n_lines_at_risk}/{exposure.n_lines_total} lines "
+            f"cross high-WHP terrain; de-energizing them darkens "
+            f"{exposure.sites_exposed:,}/{exposure.sites_total:,} sites "
+            f"({exposure.exposed_share:.1%})")
+
+
+def render_escape(result) -> str:
+    """HOT escape-model summary."""
+    return (f"static at-risk {result.static_at_risk:,} -> "
+            f"escape-adjusted {result.escape_adjusted_at_risk:,} "
+            f"(+{result.added_transceivers:,} at reach "
+            f"p>{result.reach_probability_threshold:g})")
+
+
+def render_mitigation(sites, n: int = 15) -> str:
+    """§3.10 site-hardening ranking (top sites by composite score)."""
+    body = [[i + 1, s.site_id, f"{s.score:.2f}", s.whp_class,
+             s.n_transceivers, s.n_providers,
+             f"{s.county_population:,}"]
+            for i, s in enumerate(sites[:n])]
+    return format_table(
+        ["#", "Site", "Score", "WHP", "Tx", "Providers", "County pop"],
+        body)
+
+
+def render_counties(rows, n: int = 15) -> str:
+    """Chronically-exposed counties ranking."""
+    body = [[r.county, r.state, f"{r.population:,}",
+             f"{r.transceiver_exposures:,}", r.years_touched,
+             "chronic" if r.chronic else ""]
+            for r in rows[:n]]
+    return format_table(
+        ["County", "State", "Population", "Exposures", "Years", ""],
+        body)

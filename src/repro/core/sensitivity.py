@@ -13,7 +13,6 @@ import math
 from dataclasses import dataclass, field
 
 from ..data.universe import SyntheticUS, UniverseConfig
-from ..data.whp import WHPClass
 from .hazard import hazard_analysis
 from .historical import total_in_perimeters
 from .validation import validate_whp_2019

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from ..data.radios import RadioType
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
-from .overlay import classify_cells
+from ..session import artifact, register_stage, session_of
 
 __all__ = ["TechnologyRisk", "technology_risk_analysis"]
 
@@ -35,8 +35,13 @@ class TechnologyRisk:
 def technology_risk_analysis(universe: SyntheticUS) \
         -> list[TechnologyRisk]:
     """Build Table 3 rows in the paper's order (CDMA, GSM, LTE, UMTS)."""
+    return session_of(universe).artifact("technology_risk")
+
+
+def _compute_technology_risk(session) -> list[TechnologyRisk]:
+    universe = session.universe
     cells = universe.cells
-    classes = classify_cells(cells, universe.whp)
+    classes = session.artifact("whp_classes")
     scale = universe.universe_scale
     rows = []
     for radio in (RadioType.CDMA, RadioType.GSM, RadioType.LTE,
@@ -52,3 +57,29 @@ def technology_risk_analysis(universe: SyntheticUS) \
                                * scale)),
         ))
     return rows
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("technology_risk", deps=("whp_classes",))
+def _technology_risk_artifact(session) -> list[TechnologyRisk]:
+    """Table 3 rows: per-radio-technology at-risk counts."""
+    return _compute_technology_risk(session)
+
+
+def _export_table3(session, ctx) -> dict:
+    from dataclasses import asdict
+
+    from ..data import paper_constants as paper
+    return {"table3": {
+        "rows": [asdict(r) for r in session.artifact("technology_risk")],
+        "paper": {k: list(v)
+                  for k, v in paper.TABLE3_TECHNOLOGY_RISK.items()},
+    }}
+
+
+register_stage("table3", help="technology risk (Table 3)",
+               paper="Table 3", artifact="technology_risk",
+               render="render_table3", order=30, export=_export_table3)

@@ -23,6 +23,7 @@ import numpy as np
 from ..data.universe import SyntheticUS
 from ..data.whp import WHPClass
 from ..data.wildfires import SCRIPTED_LA_FIRES_2019
+from ..session import StageOption, artifact, register_stage, session_of
 from .overlay import overlay_fires
 
 __all__ = ["ValidationResult", "validate_whp_2019"]
@@ -71,9 +72,23 @@ def validate_whp_2019(universe: SyntheticUS,
     the machinery with a dilated at-risk raster mask (boolean over the
     WHP grid).  ``oversample`` multiplies the validation sample size.
     """
+    session = session_of(universe)
+    if at_risk_mask_override is None:
+        return session.artifact("validation",
+                                at_risk_floor=at_risk_floor,
+                                oversample=oversample)
+    return _compute_validation(session, at_risk_floor,
+                               at_risk_mask_override, oversample)
+
+
+def _compute_validation(session, at_risk_floor: WHPClass,
+                        at_risk_mask_override: np.ndarray | None,
+                        oversample: int) -> ValidationResult:
+    universe = session.universe
     cells = universe.validation_cells(oversample)
     season = universe.fire_season(2019)
-    overlay = overlay_fires(cells, season.fires, year=2019)
+    overlay = session.artifact("validation_overlay",
+                               oversample=oversample)
     in_fire = overlay.in_perimeter_mask
 
     whp = universe.whp
@@ -103,3 +118,45 @@ def validate_whp_2019(universe: SyntheticUS,
         in_la_fires_total=int((in_fire & in_la).sum()),
         universe_scale=universe.universe_scale / oversample,
     )
+
+
+# ----------------------------------------------------------------------
+# Registrations
+# ----------------------------------------------------------------------
+
+@artifact("validation_overlay")
+def _validation_overlay_artifact(session, oversample: int = 8):
+    """2019 perimeters joined against the oversampled validation
+    universe (shared by the S3.4 validation and the S3.8 extension)."""
+    universe = session.universe
+    cells = universe.validation_cells(oversample)
+    return overlay_fires(cells, universe.fire_season(2019).fires,
+                         year=2019)
+
+
+@artifact("validation", deps=("validation_overlay",))
+def _validation_artifact(session,
+                         at_risk_floor: WHPClass = WHPClass.MODERATE,
+                         oversample: int = 8) -> ValidationResult:
+    """S3.4 validation of the WHP against the 2019 fire season."""
+    return _compute_validation(session, at_risk_floor, None, oversample)
+
+
+def _export_validation(session, ctx) -> dict:
+    from ..data import paper_constants as paper
+    validation = session.artifact(
+        "validation", oversample=ctx.get("validation_oversample", 8))
+    return {"validation_s34": {
+        "in_perimeter_total": validation.in_perimeter_total,
+        "accuracy": validation.accuracy,
+        "missed_in_la_fires": validation.missed_in_la_fires,
+        "missed": validation.missed,
+        "paper": paper.VALIDATION_2019,
+    }}
+
+
+register_stage("validate", help="2019 WHP validation (S3.4)",
+               paper="§3.4", artifact="validation",
+               render="render_validation", order=110,
+               options=(StageOption("--oversample", type=int, default=8),),
+               params=("oversample",), export=_export_validation)

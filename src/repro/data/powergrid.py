@@ -31,10 +31,9 @@ import networkx as nx
 import numpy as np
 
 from ..geo.geometry import LineString
-from ..geo.index import UniformGridIndex
 from .cells import CellUniverse
 from .population import PopulationSurface
-from .whp import WhpModel, WHPClass
+from .whp import WhpModel
 
 __all__ = ["PowerGrid", "build_power_grid", "dense_mst"]
 

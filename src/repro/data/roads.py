@@ -21,7 +21,7 @@ import numpy as np
 
 from ..geo.geometry import LineString
 from ..geo.projection import haversine_m
-from .cities import City, conus_cities
+from .cities import conus_cities
 
 __all__ = ["road_graph", "road_segments", "distance_to_roads_deg"]
 

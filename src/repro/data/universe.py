@@ -14,7 +14,7 @@ Scale is controlled by ``n_transceivers``.  Tests use ~20k, benchmarks
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 from .cells import CellUniverse, generate_cells

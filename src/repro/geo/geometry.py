@@ -10,8 +10,7 @@ The types interoperate with GeoJSON via :mod:`repro.geo.geojson`.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

@@ -22,7 +22,7 @@ from scipy import ndimage
 
 from ..runtime.stats import STATS
 from .geometry import BBox, Polygon
-from .projection import CONUS_ALBERS, meters_per_degree, sqmeters_to_acres
+from .projection import meters_per_degree, sqmeters_to_acres
 
 __all__ = ["GridSpec", "Raster", "rasterize_polygon", "disk_footprint"]
 

@@ -1,6 +1,5 @@
 """Tests for repro.core.population_impact and repro.core.metro."""
 
-import numpy as np
 import pytest
 
 from repro.core.metro import (

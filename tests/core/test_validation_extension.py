@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.extension import extend_very_high
 from repro.core.validation import ValidationResult, validate_whp_2019
-from repro.data.whp import WHPClass
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,5 @@
 """Tests for repro.data.counties."""
 
-import numpy as np
 import pytest
 
 from repro.data.counties import PopCategory, categorize_population

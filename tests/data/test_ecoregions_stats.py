@@ -1,6 +1,5 @@
 """Tests for repro.data.ecoregions and repro.data.historical_stats."""
 
-import numpy as np
 import pytest
 
 from repro.data.ecoregions import (

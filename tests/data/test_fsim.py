@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.fsim import (
-    BurnProbability,
     FsimConfig,
     derive_whp_classes,
     run_fsim,

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    WHPClass,
     city_very_high_counts,
     hazard_analysis,
     historical_analysis,
