@@ -374,3 +374,82 @@ def test_runtime_repro_all_cold_vs_warm(tmp_path):
         f"({cold_s / max(warm_s, 1e-9):.1f}x with warm cache, "
         f"workers={workers})")
     assert warm_s < cold_s, "warm cache must be measurably faster"
+
+
+def test_runtime_trace_overhead(tmp_path):
+    """Tracing must observe the reproduction, not change it.
+
+    Identical cold `repro all` invocations, best-of-N on both sides
+    (this machine's wall times drift several percent run to run, so a
+    single pair would guard the scheduler, not the tracer): the best
+    traced run's total top-level span time — a subset of its own wall
+    time — must land within 5% of the best untraced wall, plus a small
+    absolute epsilon.  If span bookkeeping ever leaks into the hot
+    path, this is the guard that trips.  The spans also yield
+    per-artifact build timings, recorded as their own trajectory
+    section.
+    """
+    import io
+    import json
+
+    workers = os.environ.get("REPRO_WORKERS", "4")
+    base = ["-n", "20000", "--whp-res", "0.1", "--workers", workers,
+            "--no-cache"]
+    reps = 2
+
+    def _stage_span_total(doc: dict) -> float:
+        return sum(e["dur"] for e in doc["traceEvents"]
+                   if e["ph"] == "X"
+                   and e["name"].startswith("stage.")) / 1e6
+
+    previous = get_config()
+    set_cache(None)
+    untraced, traced, docs = [], [], []
+    try:
+        assert cli_main(base + ["all"], stream=io.StringIO()) == 0
+
+        for rep in range(reps):
+            t0 = time.perf_counter()
+            assert cli_main(base + ["all"], stream=io.StringIO()) == 0
+            untraced.append(time.perf_counter() - t0)
+
+            trace_path = tmp_path / f"trace-{rep}.json"
+            t0 = time.perf_counter()
+            assert cli_main(
+                base + ["--trace", str(trace_path), "all"],
+                stream=io.StringIO()) == 0
+            traced.append(time.perf_counter() - t0)
+            docs.append(json.loads(trace_path.read_text()))
+    finally:
+        set_config(previous)
+        set_cache(None)
+
+    untraced_s = min(untraced)
+    traced_s = min(traced)
+    span_total_s = min(_stage_span_total(doc) for doc in docs)
+    doc = docs[traced.index(traced_s)]
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+    artifact_s: dict[str, float] = {}
+    for e in spans:
+        if e["name"].startswith("artifact."):
+            artifact_s[e["name"]] = artifact_s.get(e["name"], 0.0) \
+                + e["dur"] / 1e6
+    record_timing(
+        "trace_overhead",
+        n="20000", workers=int(workers), n_spans=len(spans),
+        untraced_s=untraced_s, traced_s=traced_s,
+        span_total_s=span_total_s,
+        overhead_ratio=span_total_s / max(untraced_s, 1e-9))
+    record_timing(
+        "artifact_spans",
+        **{name: round(seconds, 6)
+           for name, seconds in sorted(artifact_s.items())})
+    print_result(
+        "RUNTIME — trace overhead",
+        f"untraced {untraced_s:.2f}s | traced {traced_s:.2f}s "
+        f"({len(spans)} spans, stage-span total {span_total_s:.2f}s, "
+        f"ratio {span_total_s / max(untraced_s, 1e-9):.3f})")
+    assert artifact_s, "the trace must contain artifact build spans"
+    assert span_total_s <= 1.05 * untraced_s + 0.1, \
+        "traced span total must stay within 5% of the untraced wall"

@@ -24,6 +24,16 @@ disables result memoization, ``--cache-dir`` adds an on-disk cache tier
 that survives runs, and ``--stats`` prints per-stage wall times,
 per-artifact session hit/miss counts, and index/cache counters after
 the command.
+
+Observability (see docs/observability.md): ``--trace FILE`` records a
+hierarchical span tree — one span per stage, artifact build, join, and
+worker chunk — as Chrome ``trace_event`` JSON for Perfetto;
+``--log-json FILE`` streams the same spans as JSON lines;
+``--metrics FILE`` writes a Prometheus text exposition of the perf
+counters; ``--profile FILE`` runs every stage under cProfile;
+``--mem`` samples RSS/heap per artifact build.  ``repro trace
+[STAGE]`` runs a stage (default: everything) traced and prints the
+span tree.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import runtime
+from . import obs, runtime
 from .core import report
 from .data import SyntheticUS, UniverseConfig
 from .session import (
@@ -85,6 +95,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: memory-only; $REPRO_CACHE_DIR)")
     parser.add_argument("--stats", action="store_true",
                         help="print runtime perf counters after the run")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON span tree "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--log-json", metavar="FILE", default=None,
+                        help="stream spans and events as JSON lines")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write a Prometheus text exposition of the "
+                             "perf counters after the run")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="profile every stage under cProfile; dump "
+                             "aggregated pstats to FILE")
+    parser.add_argument("--mem", action="store_true",
+                        help="sample RSS / Python-heap peak per "
+                             "artifact build (adds span attributes)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for stage in iter_stages():
@@ -99,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show the stage registry")
     sub.add_parser("all", help="every table and figure")
+    trace_parser = sub.add_parser(
+        "trace", help="run a stage traced and print the span tree")
+    trace_parser.add_argument(
+        "stage", nargs="?", default="all",
+        choices=tuple(s.name for s in iter_stages()) + ("all",),
+        help="stage to trace (default: all)")
+    trace_parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the Chrome trace_event JSON to FILE")
+    trace_parser.add_argument(
+        "--min-ms", type=float, default=0.1,
+        help="fold spans shorter than this (default 0.1ms)")
+    trace_parser.add_argument(
+        "--events", action="store_true",
+        help="show instant events (cache/pool) in the tree")
     return parser
 
 
@@ -128,6 +167,53 @@ def _configure_runtime(args: argparse.Namespace) -> None:
         runtime.set_cache(None)   # rebuild the cache from the new config
 
 
+def _configure_obs(args: argparse.Namespace) -> dict:
+    """Arm the observability layer from CLI flags.
+
+    Returns the state :func:`_finalize_obs` needs: the tracer (when
+    tracing), the JSONL sink, and the stage profiler.  Tracing turns
+    on for ``--trace`` / ``--log-json`` and the ``trace`` subcommand;
+    everything stays off (and zero-cost) otherwise.
+    """
+    state: dict = {"tracer": None, "sink": None, "profiler": None}
+    tracing = (args.trace is not None or args.log_json is not None
+               or args.command == "trace")
+    if tracing:
+        state["tracer"] = obs.enable()
+        state["tracer"].clear()     # spans from any earlier in-process run
+    if args.log_json is not None:
+        state["sink"] = obs.JsonlSink(args.log_json)
+        state["tracer"].set_sink(state["sink"])
+    if args.mem:
+        obs.enable_memory_sampling()
+    if args.profile is not None:
+        state["profiler"] = obs.StageProfiler()
+    return state
+
+
+def _finalize_obs(args: argparse.Namespace, state: dict, out) -> None:
+    """Write the requested exports and disarm the probes."""
+    tracer = state["tracer"]
+    if args.trace is not None and tracer is not None:
+        obs.write_chrome_trace(args.trace, tracer)
+        out(f"trace: {len(tracer.finished)} spans -> {args.trace}")
+    if state["sink"] is not None:
+        state["sink"].close()
+    if args.metrics is not None:
+        from pathlib import Path
+        Path(args.metrics).write_text(
+            obs.prometheus_text(runtime.STATS.snapshot()),
+            encoding="utf-8")
+    if state["profiler"] is not None:
+        state["profiler"].dump(args.profile)
+        out(f"profile: {len(state['profiler'].stages)} stages -> "
+            f"{args.profile}")
+    if args.mem:
+        obs.disable_memory_sampling()
+    if tracer is not None:
+        obs.disable()
+
+
 def main(argv: list[str] | None = None, stream=None) -> int:
     """CLI entry point.  Returns a process exit code."""
     stream = stream or sys.stdout
@@ -135,23 +221,48 @@ def main(argv: list[str] | None = None, stream=None) -> int:
     args = parser.parse_args(argv)
 
     def out(text: str) -> None:
-        print(text, file=stream)
+        stream.write(text + "\n")
 
     _configure_runtime(args)
     if args.command == "list":
         out(report.render_stage_list(iter_stages()))
         return 0
 
-    session = AnalysisSession(_universe(args))
-    if args.command == "all":
-        for stage in stages_in_all():
-            out(f"\n===== {stage.name} =====")
+    obs_state = _configure_obs(args)
+    profiler = obs_state["profiler"]
+
+    def run_stage(stage, session) -> str:
+        with obs.span(f"stage.{stage.name}", paper=stage.paper):
             with runtime.STATS.timer(f"cli.{stage.name}"):
-                out(stage.run(session, args))
-    else:
-        with runtime.STATS.timer(f"cli.{args.command}"):
-            out(get_stage(args.command).run(session, args))
-    if args.stats:
-        out("")
-        out(report.render_stats(runtime.STATS.snapshot()))
+                if profiler is not None:
+                    with profiler.stage(stage.name):
+                        return stage.run(session, args)
+                return stage.run(session, args)
+
+    try:
+        session = AnalysisSession(_universe(args))
+        if args.command == "trace":
+            stages = stages_in_all() if args.stage == "all" \
+                else (get_stage(args.stage),)
+            for stage in stages:
+                run_stage(stage, session)
+            tracer = obs_state["tracer"]
+            out(report.render_span_tree(tracer.finished,
+                                        min_ms=args.min_ms,
+                                        show_events=args.events))
+            if args.out is not None:
+                obs.write_chrome_trace(args.out, tracer)
+                out(f"trace: {len(tracer.finished)} spans -> "
+                    f"{args.out}")
+        elif args.command == "all":
+            for stage in stages_in_all():
+                out(f"\n===== {stage.name} =====")
+                out(run_stage(stage, session))
+        else:
+            out(run_stage(get_stage(args.command), session))
+        if args.stats:
+            out("")
+            out(report.render_stats(runtime.STATS.snapshot()))
+    finally:
+        _finalize_obs(args, obs_state, out)
     return 0

@@ -48,6 +48,7 @@ from ..runtime import (
     overlay_workers,
     run_tasks,
 )
+from ..obs.trace import span as trace_span
 from ..runtime.stats import STATS
 from ..session import artifact
 
@@ -147,15 +148,17 @@ def _overlay_fires_task(fires: list[FirePerimeter]):
     hit indices, and the worker's stats delta.
     """
     before = STATS.snapshot()
-    index = _worker_index()
-    counts = np.zeros(len(fires), dtype=np.int64)
-    hit_chunks = []
-    for i, fire in enumerate(fires):
-        hits = index.query_polygon(fire.polygon)
-        counts[i] = len(hits)
-        hit_chunks.append(hits)
-    hits = np.concatenate(hit_chunks) if hit_chunks \
-        else np.empty(0, dtype=np.int64)
+    with trace_span("overlay.chunk", n_fires=len(fires)) as sp:
+        index = _worker_index()
+        counts = np.zeros(len(fires), dtype=np.int64)
+        hit_chunks = []
+        for i, fire in enumerate(fires):
+            hits = index.query_polygon(fire.polygon)
+            counts[i] = len(hits)
+            hit_chunks.append(hits)
+        hits = np.concatenate(hit_chunks) if hit_chunks \
+            else np.empty(0, dtype=np.int64)
+        sp.set(hits=int(counts.sum()))
     return counts, hits, STATS.delta_since(before)
 
 
@@ -168,8 +171,9 @@ def _classify_task(span: tuple[int, int]):
     start, stop = span
     state = _WORKER_STATE
     before = STATS.snapshot()
-    classes = state["whp"].classify(state["lons"][start:stop],
-                                    state["lats"][start:stop])
+    with trace_span("classify.chunk", start=start, stop=stop):
+        classes = state["whp"].classify(state["lons"][start:stop],
+                                        state["lats"][start:stop])
     return classes, STATS.delta_since(before)
 
 
@@ -210,13 +214,17 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
         if entry is not None:
             return _decode_overlay(entry)
 
-    with STATS.timer("overlay_fires"):
-        eff_workers = overlay_workers(workers, len(cells), len(fires))
-        if eff_workers > 1:
-            result = _overlay_parallel(cells, fires, resolved_year,
-                                       eff_workers)
-        else:
-            result = _overlay_serial(cells, fires, resolved_year)
+    with trace_span("overlay_fires", year=resolved_year,
+                    n_points=len(cells), n_fires=len(fires)) as sp:
+        with STATS.timer("overlay_fires"):
+            eff_workers = overlay_workers(workers, len(cells),
+                                          len(fires))
+            sp.set(workers=eff_workers)
+            if eff_workers > 1:
+                result = _overlay_parallel(cells, fires, resolved_year,
+                                           eff_workers)
+            else:
+                result = _overlay_serial(cells, fires, resolved_year)
 
     if use_cache and key is not None:
         get_cache().put(key, _encode_overlay(result))
@@ -318,22 +326,25 @@ def classify_cells(cells: CellUniverse, whp: WhpModel, *,
         if entry is not None:
             return entry["classes"]
 
-    with STATS.timer("classify_cells"):
-        eff_workers = classify_workers(workers, len(cells), chunk_size)
-        classes = None
-        if eff_workers > 1:
-            spans = chunk_spans(len(cells), chunk_size)
-            token = cells.content_token() + whp.content_token()
-            results = run_tasks(
-                "classify", eff_workers, token, _classify_task, spans,
-                initializer=_init_classify_worker,
-                initargs=(cells.lons, cells.lats, whp))
-            if results is not None:
-                for _, delta in results:
-                    STATS.merge(delta)
-                classes = np.concatenate([c[0] for c in results])
-        if classes is None:
-            classes = whp.classify(cells.lons, cells.lats)
+    with trace_span("classify_cells", n_points=len(cells)) as sp:
+        with STATS.timer("classify_cells"):
+            eff_workers = classify_workers(workers, len(cells),
+                                           chunk_size)
+            sp.set(workers=eff_workers)
+            classes = None
+            if eff_workers > 1:
+                spans = chunk_spans(len(cells), chunk_size)
+                token = cells.content_token() + whp.content_token()
+                results = run_tasks(
+                    "classify", eff_workers, token, _classify_task,
+                    spans, initializer=_init_classify_worker,
+                    initargs=(cells.lons, cells.lats, whp))
+                if results is not None:
+                    for _, delta in results:
+                        STATS.merge(delta)
+                    classes = np.concatenate([c[0] for c in results])
+            if classes is None:
+                classes = whp.classify(cells.lons, cells.lats)
 
     if use_cache and key is not None:
         get_cache().put(key, {"classes": classes})

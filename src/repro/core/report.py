@@ -25,6 +25,7 @@ from .validation import ValidationResult
 __all__ = [
     "format_table",
     "render_stats",
+    "render_span_tree",
     "render_stage_list",
     "render_table1",
     "render_table2",
@@ -107,6 +108,56 @@ def render_stats(snapshot: dict) -> str:
         out.append(format_table(
             ["Artifact", "Hits", "Builds", "Seconds"], art_rows))
     return "\n".join(out)
+
+
+def render_span_tree(spans, *, min_ms: float = 0.0,
+                     show_events: bool = False) -> str:
+    """Render a span list (``repro trace``) as an indented tree.
+
+    ``spans`` is a sequence of :class:`repro.obs.Span`.  Children sort
+    by start time under their parent; durations print in milliseconds
+    with each span's share of its root.  Spans shorter than ``min_ms``
+    are folded (summarized per parent as ``… n spans below min``);
+    instant events are hidden unless ``show_events``.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)"
+    by_parent: dict = {}
+    known = {sp.span_id for sp in spans}
+    for sp in spans:
+        parent = sp.parent_id if sp.parent_id in known else None
+        by_parent.setdefault(parent, []).append(sp)
+    for children in by_parent.values():
+        children.sort(key=lambda sp: sp.start)
+
+    lines = []
+
+    def walk(sp, depth, root_total):
+        if sp.kind == "instant" and not show_events:
+            return
+        label = "* " if sp.kind == "instant" else ""
+        ms = sp.duration * 1e3
+        share = f" ({sp.duration / root_total:5.1%})" \
+            if root_total > 0 and sp.kind != "instant" else ""
+        pid_tag = f" [pid {sp.pid}]" if sp.pid != spans[0].pid else ""
+        attrs = ", ".join(f"{k}={v}" for k, v in sp.attrs.items())
+        attrs = f"  {{{attrs}}}" if attrs else ""
+        lines.append(f"{'  ' * depth}{label}{sp.name}  "
+                     f"{ms:,.1f}ms{share}{pid_tag}{attrs}")
+        folded = 0
+        for child in by_parent.get(sp.span_id, ()):
+            if child.kind != "instant" and child.duration * 1e3 < min_ms:
+                folded += 1
+                continue
+            walk(child, depth + 1, root_total)
+        if folded:
+            lines.append(f"{'  ' * (depth + 1)}"
+                         f"... {folded} spans under {min_ms:g}ms")
+
+    for root in by_parent.get(None, ()):
+        walk(root, 0, root.duration)
+    return "\n".join(lines)
 
 
 def render_stage_list(stages) -> str:

@@ -1,0 +1,59 @@
+"""repro.obs — structured observability for the artifact runtime.
+
+The flat :data:`repro.runtime.stats.STATS` registry answers *how much*
+(cumulative seconds, monotonic counters); this package answers *where
+and when*: a hierarchical span tree over every artifact build, stage
+dispatch, spatial join, parallel chunk, and cache/pool event — plus
+exporters (Chrome trace_event for Perfetto, Prometheus text, JSON
+lines) and opt-in profiling hooks (per-artifact RSS/heap sampling,
+per-stage cProfile).
+
+Layering:
+
+* :mod:`.trace` — :class:`Span` / :class:`Tracer`, the :func:`span` /
+  :func:`event` probes, and the worker → parent adoption protocol that
+  rides the existing ``STATS.snapshot()/merge()`` channel;
+* :mod:`.export` — trace_event JSON, Prometheus exposition, JSONL sink;
+* :mod:`.profile` — memory sampling and the cProfile stage wrapper.
+
+Everything is stdlib-only and **zero-overhead when disabled**: the
+probes check one module-level boolean and return a shared no-op, so
+`repro all` without ``--trace`` runs the exact hot path it always did.
+
+CLI surface (see docs/observability.md): ``--trace FILE``,
+``--log-json FILE``, ``--metrics FILE``, ``--profile FILE``, ``--mem``,
+and the ``repro trace [stage]`` subcommand.
+"""
+
+from .export import (
+    JsonlSink,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+)
+from .profile import (
+    StageProfiler,
+    disable_memory_sampling,
+    enable_memory_sampling,
+    memory_probe,
+    memory_sampling_enabled,
+    rss_kb,
+)
+from .trace import (
+    Span,
+    Tracer,
+    disable,
+    enable,
+    event,
+    get_tracer,
+    is_enabled,
+    span,
+)
+
+__all__ = [
+    "Span", "Tracer",
+    "enable", "disable", "is_enabled", "get_tracer", "span", "event",
+    "chrome_trace", "write_chrome_trace", "prometheus_text", "JsonlSink",
+    "StageProfiler", "enable_memory_sampling", "disable_memory_sampling",
+    "memory_sampling_enabled", "memory_probe", "rss_kb",
+]

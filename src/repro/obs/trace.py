@@ -1,0 +1,292 @@
+"""Hierarchical spans: the core of the observability layer.
+
+A :class:`Span` is one named, timed region of the analysis — an
+artifact build, a stage dispatch, a spatial join, a parallel chunk —
+with attributes, a parent link, and the pid that produced it.  The
+process-global :class:`Tracer` maintains the open-span stack, records
+finished spans in completion order, and emits instant events (cache
+hits, pool lifecycle) as zero-duration spans.
+
+**Zero overhead when disabled.**  Tracing is off by default; every
+probe (:func:`span`, :func:`event`) checks one boolean and returns a
+shared no-op context manager, so the hot paths pay a function call and
+a branch — nothing is allocated, nothing is timed.  Enabling tracing
+(:func:`enable`) also installs the tracer as the
+:mod:`repro.runtime.stats` *trace channel*, which is how worker-process
+spans travel home: a worker task's ``STATS.delta_since(before)`` then
+carries the spans it opened, and the parent's ``STATS.merge(delta)``
+re-parents them under the span active at the merge site (the
+dispatching join).  Under ``fork`` the workers inherit the enabled
+tracer; start contexts without ``fork`` simply ship no spans — the
+channel degrades to the flat counters, never to an error.
+
+Timestamps are ``time.perf_counter()`` seconds.  On Linux that clock is
+``CLOCK_MONOTONIC`` — system-wide, shared by forked workers — so
+parent and worker spans are directly comparable in one timeline.
+
+This module is stdlib-only and import-light: it is imported by
+``repro.session`` and the runtime modules.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "event",
+    "get_tracer",
+    "is_enabled",
+    "span",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or open) region of the trace tree.
+
+    ``kind`` is ``"span"`` for timed regions and ``"instant"`` for
+    zero-duration point events.  ``span_id``/``parent_id`` are unique
+    within one tracer; adoption (see :meth:`Tracer.adopt`) remaps ids
+    so worker spans never collide with the parent's.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    pid: int
+    start: float                    # perf_counter seconds
+    duration: float = 0.0
+    kind: str = "span"
+    attrs: dict = field(default_factory=dict)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes from inside the ``with`` body."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the worker → parent wire format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "start": self.start,
+            "duration": self.duration,
+            "kind": self.kind,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(name=d["name"], span_id=d["span_id"],
+                   parent_id=d.get("parent_id"), pid=d.get("pid", 0),
+                   start=d.get("start", 0.0),
+                   duration=d.get("duration", 0.0),
+                   kind=d.get("kind", "span"),
+                   attrs=dict(d.get("attrs", {})))
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a real span on the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._span = Span(name=name, span_id=next(tracer._ids),
+                          parent_id=None, pid=os.getpid(),
+                          start=0.0, attrs=attrs)
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        stack = tracer._stack
+        sp = self._span
+        if stack:
+            sp.parent_id = stack[-1].span_id
+        stack.append(sp)
+        sp.start = time.perf_counter()
+        return sp
+
+    def __exit__(self, *exc) -> bool:
+        sp = self._span
+        sp.duration = time.perf_counter() - sp.start
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is sp:
+            tracer._stack.pop()
+        else:                       # mis-nested exit: drop up to us
+            while tracer._stack and tracer._stack[-1] is not sp:
+                tracer._stack.pop()
+            if tracer._stack:
+                tracer._stack.pop()
+        tracer._record(sp)
+        return False
+
+
+class Tracer:
+    """Collects spans for one process; adoptable across processes.
+
+    ``sink`` (optional) is called with each finished span's dict —
+    the ``--log-json`` JSON-lines stream.  Sinks fire only in the
+    process that installed them (forked children inherit the module
+    state but must not double-write the parent's file handle).
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+        self._sink = None
+        self._sink_pid: int | None = None
+
+    # -- probes --------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        return _SpanContext(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instant (zero-duration) event at the current
+        position in the tree."""
+        parent = self._stack[-1].span_id if self._stack else None
+        self._record(Span(name=name, span_id=next(self._ids),
+                          parent_id=parent, pid=os.getpid(),
+                          start=time.perf_counter(), duration=0.0,
+                          kind="instant", attrs=attrs))
+
+    def _record(self, sp: Span) -> None:
+        self.finished.append(sp)
+        if self._sink is not None and self._sink_pid == os.getpid():
+            self._sink(sp.to_dict())
+
+    # -- sinks ---------------------------------------------------------
+
+    def set_sink(self, sink) -> None:
+        """Stream every finished span's dict to ``sink`` (or None)."""
+        self._sink = sink
+        self._sink_pid = os.getpid() if sink is not None else None
+
+    # -- worker transport (the stats trace channel) --------------------
+
+    def span_count(self) -> int:
+        return len(self.finished)
+
+    def export_spans(self, since: int = 0) -> list[dict]:
+        """Serialized spans finished after index ``since``."""
+        return [sp.to_dict() for sp in self.finished[since:]]
+
+    def adopt(self, serialized: list[dict],
+              parent_id: int | None = None) -> list[Span]:
+        """Fold spans from another process into this tracer.
+
+        Ids are remapped to fresh local ids (two passes: parents close
+        after their children, so a child can arrive first); roots are
+        re-parented under ``parent_id`` — by default the span active
+        here right now, i.e. the dispatching join doing the merge.
+        """
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        adopted = [Span.from_dict(d) for d in serialized]
+        mapping = {sp.span_id: next(self._ids) for sp in adopted}
+        for sp in adopted:
+            sp.span_id = mapping[sp.span_id]
+            sp.parent_id = mapping.get(sp.parent_id, parent_id)
+            self._record(sp)
+        return adopted
+
+    # -- tree access ---------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Finished spans with no (known) parent, in start order."""
+        known = {sp.span_id for sp in self.finished}
+        return sorted((sp for sp in self.finished
+                       if sp.parent_id not in known),
+                      key=lambda sp: sp.start)
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return sorted((sp for sp in self.finished
+                       if sp.parent_id == span_id),
+                      key=lambda sp: sp.start)
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+
+
+#: The process-global tracer.  One per process; forked workers inherit
+#: it (enabled flag included) and ship their spans home via the stats
+#: trace channel.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def is_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable() -> Tracer:
+    """Turn tracing on and hook the tracer into the stats channel."""
+    from ..runtime import stats
+    _TRACER.enabled = True
+    stats.set_trace_channel(_TRACER)
+    return _TRACER
+
+
+def disable() -> None:
+    """Turn tracing off and unhook the stats channel (spans already
+    collected stay on the tracer until :meth:`Tracer.clear`)."""
+    from ..runtime import stats
+    _TRACER.enabled = False
+    _TRACER.set_sink(None)
+    stats.set_trace_channel(None)
+
+
+def span(name: str, **attrs):
+    """Open a span around a ``with`` body — or do nothing, cheaply.
+
+    This is the probe the instrumented call sites use::
+
+        with span("artifact.hazard", year=2019) as sp:
+            ...
+            sp.set(rows=len(out))
+
+    When tracing is disabled (the default) it returns a shared no-op
+    context manager: one branch, zero allocation.
+    """
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an instant event (cache hit, pool reuse, fallback)."""
+    if _TRACER.enabled:
+        _TRACER.event(name, **attrs)

@@ -15,7 +15,9 @@ as fast as the machine allows without changing a single result bit:
 * :mod:`.cache` — a content-addressed in-memory + on-disk result cache
   keyed by the inputs' bytes, so identical joins are computed once;
 * :mod:`.stats` — per-stage wall times and candidate/hit/cache counters
-  behind the CLI ``--stats`` report;
+  behind the CLI ``--stats`` report, plus the *trace channel* that lets
+  :mod:`repro.obs` ship hierarchical spans from worker processes back
+  to the parent through the same snapshot/merge path;
 * :mod:`.config` — the process-global knobs wiring it together.
 
 The differential suite in ``tests/runtime/`` proves parallel == serial
@@ -33,7 +35,7 @@ from .config import (
 from .dispatch import classify_workers, cpu_budget, overlay_workers
 from .parallel import chunk_spans, parallel_map
 from .pool import active_pools, get_pool, run_tasks, shutdown_pools
-from .stats import STATS, PerfRegistry
+from .stats import STATS, PerfRegistry, set_trace_channel, trace_channel
 
 __all__ = [
     "RuntimeConfig", "get_config", "set_config", "configure",
@@ -42,5 +44,5 @@ __all__ = [
     "chunk_spans", "parallel_map",
     "active_pools", "get_pool", "run_tasks", "shutdown_pools",
     "cpu_budget", "overlay_workers", "classify_workers",
-    "STATS", "PerfRegistry",
+    "STATS", "PerfRegistry", "set_trace_channel", "trace_channel",
 ]

@@ -26,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.trace import event as trace_event
 from .stats import STATS
 
 __all__ = ["ResultCache", "cache_key", "array_token", "get_cache",
@@ -97,6 +98,7 @@ class ResultCache:
         if entry is not None:
             self._memory.move_to_end(key)
             STATS.count("cache.hits")
+            trace_event("cache.hit", key=key[:12], tier="memory")
             return entry
         if self.disk_dir is not None:
             path = self._disk_path(key)
@@ -110,8 +112,10 @@ class ResultCache:
                     self._remember(key, entry)
                     STATS.count("cache.hits")
                     STATS.count("cache.disk_hits")
+                    trace_event("cache.hit", key=key[:12], tier="disk")
                     return entry
         STATS.count("cache.misses")
+        trace_event("cache.miss", key=key[:12])
         return None
 
     def put(self, key: str, payload: dict) -> None:

@@ -19,6 +19,8 @@ import multiprocessing
 from pickle import PicklingError
 from typing import Callable, Sequence
 
+from ..obs.trace import event as trace_event
+from ..obs.trace import span as trace_span
 from .stats import STATS
 
 __all__ = ["chunk_spans", "parallel_map"]
@@ -65,14 +67,17 @@ def parallel_map(fn: Callable, tasks: Sequence, workers: int,
         return _serial(fn, tasks, initializer, initargs)
     workers = min(workers, len(tasks))
     try:
-        ctx = _pool_context()
-        with ctx.Pool(processes=workers, initializer=initializer,
-                      initargs=initargs) as pool:
-            results = pool.map(fn, tasks)
+        with trace_span("parallel.map", workers=workers,
+                        tasks=len(tasks)):
+            ctx = _pool_context()
+            with ctx.Pool(processes=workers, initializer=initializer,
+                          initargs=initargs) as pool:
+                results = pool.map(fn, tasks)
         STATS.count("parallel.pool_runs")
         STATS.count("parallel.tasks", len(tasks))
         return results
     except (OSError, ValueError, PicklingError, AttributeError,
             ImportError):
         STATS.count("parallel.fallbacks")
+        trace_event("parallel.fallback", at="one-shot")
         return _serial(fn, tasks, initializer, initargs)

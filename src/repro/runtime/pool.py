@@ -29,6 +29,8 @@ from collections import OrderedDict
 from pickle import PicklingError
 from typing import Callable, Sequence
 
+from ..obs.trace import event as trace_event
+from ..obs.trace import span as trace_span
 from .stats import STATS
 
 __all__ = ["get_pool", "run_tasks", "shutdown_pools", "active_pools"]
@@ -73,14 +75,18 @@ def get_pool(name: str, workers: int, token: bytes,
     if pool is not None:
         _pools.move_to_end(key)
         STATS.count("pool.reused")
+        trace_event("pool.reused", pool=name, workers=workers)
         return pool
     while len(_pools) >= MAX_POOLS:
-        _, evicted = _pools.popitem(last=False)
+        evicted_key, evicted = _pools.popitem(last=False)
         _terminate(evicted)
         STATS.count("pool.evicted")
-    ctx = _pool_context()
-    pool = ctx.Pool(processes=workers, initializer=initializer,
-                    initargs=initargs)
+        trace_event("pool.evicted", pool=evicted_key[0],
+                    workers=evicted_key[1])
+    with trace_span("pool.create", pool=name, workers=workers):
+        ctx = _pool_context()
+        pool = ctx.Pool(processes=workers, initializer=initializer,
+                        initargs=initargs)
     _pools[key] = pool
     STATS.count("pool.created")
     return pool
@@ -110,12 +116,16 @@ def run_tasks(name: str, workers: int, token: bytes, fn: Callable,
         pool = get_pool(name, workers, token, initializer, initargs)
     except _POOL_ERRORS:
         STATS.count("parallel.fallbacks")
+        trace_event("parallel.fallback", pool=name, at="create")
         return None
     try:
-        results = pool.map(fn, tasks)
+        with trace_span("pool.map", pool=name, workers=workers,
+                        tasks=len(tasks)):
+            results = pool.map(fn, tasks)
     except _POOL_ERRORS:
         discard_pool(name, workers, token)
         STATS.count("parallel.fallbacks")
+        trace_event("parallel.fallback", pool=name, at="map")
         return None
     STATS.count("parallel.pool_runs")
     STATS.count("parallel.tasks", len(tasks))

@@ -15,7 +15,29 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
-__all__ = ["PerfRegistry", "STATS"]
+__all__ = ["PerfRegistry", "STATS", "set_trace_channel", "trace_channel"]
+
+
+#: Optional span transport installed by :func:`repro.obs.enable`.
+#: When set, snapshots carry a span high-water mark, deltas carry the
+#: spans finished since the mark, and merges adopt worker spans into
+#: the parent tracer (re-parented under the span active at the merge
+#: site).  ``None`` — the default — keeps every path span-free and
+#: adds only a None-check to snapshot/delta/merge.
+_TRACE_CHANNEL = None
+
+
+def set_trace_channel(channel) -> None:
+    """Install (or with ``None``, remove) the span transport.
+
+    ``channel`` must provide ``span_count()``, ``export_spans(since)``
+    and ``adopt(serialized)`` — :class:`repro.obs.Tracer` does."""
+    global _TRACE_CHANNEL
+    _TRACE_CHANNEL = channel
+
+
+def trace_channel():
+    return _TRACE_CHANNEL
 
 
 class PerfRegistry:
@@ -58,35 +80,60 @@ class PerfRegistry:
 
     def merge(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` from another registry (e.g. a worker
-        process) into this one."""
+        process) into this one.  When a trace channel is installed,
+        spans riding the snapshot are adopted into the local tracer,
+        re-parented under whatever span is open at this merge site."""
         for stage, secs in snapshot.get("timers", {}).items():
             self.add_time(stage, secs,
                           snapshot.get("timer_calls", {}).get(stage, 1))
         for name, n in snapshot.get("counters", {}).items():
             self.count(name, n)
+        spans = snapshot.get("spans")
+        if spans and _TRACE_CHANNEL is not None:
+            _TRACE_CHANNEL.adopt(spans)
 
     def snapshot(self) -> dict:
         """A JSON-serializable copy of the current state."""
-        return {
+        snap = {
             "timers": dict(self._timers),
             "timer_calls": dict(self._timer_calls),
             "counters": dict(self._counters),
         }
+        if _TRACE_CHANNEL is not None:
+            snap["span_count"] = _TRACE_CHANNEL.span_count()
+        return snap
 
     def delta_since(self, before: dict) -> dict:
-        """Snapshot of activity since an earlier :meth:`snapshot`."""
+        """Snapshot of activity since an earlier :meth:`snapshot`.
+
+        A stage appears in ``timers`` whenever it ran — even when its
+        accumulated wall time rounds to exactly 0.0 — so call-count
+        activity is never silently dropped; ``timer_calls`` carries the
+        matching call deltas.  When a trace channel is active, the
+        delta also carries every span finished since ``before`` (the
+        worker → parent transport).
+        """
         now = self.snapshot()
-        return {
-            "timers": {k: v - before["timers"].get(k, 0.0)
-                       for k, v in now["timers"].items()
-                       if v - before["timers"].get(k, 0.0) > 0.0},
-            "timer_calls": {k: v - before["timer_calls"].get(k, 0)
-                            for k, v in now["timer_calls"].items()
-                            if v - before["timer_calls"].get(k, 0) > 0},
+        timers: dict[str, float] = {}
+        timer_calls: dict[str, int] = {}
+        for k, v in now["timers"].items():
+            dt = v - before["timers"].get(k, 0.0)
+            dc = now["timer_calls"].get(k, 0) \
+                - before["timer_calls"].get(k, 0)
+            if dt > 0.0 or dc > 0:
+                timers[k] = dt
+                timer_calls[k] = dc
+        delta = {
+            "timers": timers,
+            "timer_calls": timer_calls,
             "counters": {k: v - before["counters"].get(k, 0)
                          for k, v in now["counters"].items()
                          if v - before["counters"].get(k, 0) > 0},
         }
+        if _TRACE_CHANNEL is not None:
+            delta["spans"] = _TRACE_CHANNEL.export_spans(
+                before.get("span_count", 0))
+        return delta
 
     def reset(self) -> None:
         self._timers.clear()
@@ -96,29 +143,43 @@ class PerfRegistry:
     # -- reporting -----------------------------------------------------
 
     def render(self) -> str:
-        """Human-readable report for the CLI ``--stats`` flag."""
+        """Human-readable report for the CLI ``--stats`` flag.
+
+        Column widths are measured from the content (with the historic
+        32/12 minimums), so stage names longer than 32 characters and
+        counters past 999,999,999,999 stay aligned instead of
+        overflowing their columns.
+        """
         lines = ["perf: stage wall times"]
         if not self._timers:
             lines.append("  (no stages timed)")
+        stage_w = max([32] + [len(s) for s in self._timers])
+        secs_w = max([9] + [len(f"{v:.3f}") for v in
+                            self._timers.values()])
         for stage in sorted(self._timers):
             calls = self._timer_calls.get(stage, 1)
-            lines.append(f"  {stage:<32s} {self._timers[stage]:9.3f}s"
+            lines.append(f"  {stage:<{stage_w}s} "
+                         f"{self._timers[stage]:>{secs_w}.3f}s"
                          f"  ({calls} call{'s' if calls != 1 else ''})")
         lines.append("perf: counters")
         if not self._counters:
             lines.append("  (no counters)")
+        name_w = max([32] + [len(n) for n in self._counters])
+        val_w = max([12] + [len(f"{v:,d}") for v in
+                            self._counters.values()])
         for name in sorted(self._counters):
-            lines.append(f"  {name:<32s} {self._counters[name]:>12,d}")
+            lines.append(f"  {name:<{name_w}s} "
+                         f"{self._counters[name]:>{val_w},d}")
         hits = self.get("cache.hits")
         misses = self.get("cache.misses")
         if hits + misses:
-            lines.append(f"  {'cache hit rate':<32s} "
-                         f"{hits / (hits + misses):>11.1%}")
+            lines.append(f"  {'cache hit rate':<{name_w}s} "
+                         f"{hits / (hits + misses):>{val_w}.1%}")
         cand = self.get("index.candidates")
         kept = self.get("index.hits")
         if cand:
-            lines.append(f"  {'index selectivity':<32s} "
-                         f"{kept / cand:>11.1%}")
+            lines.append(f"  {'index selectivity':<{name_w}s} "
+                         f"{kept / cand:>{val_w}.1%}")
         return "\n".join(lines)
 
 

@@ -1,0 +1,136 @@
+"""Tests for the Chrome trace / Prometheus / JSONL exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    JsonlSink,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.trace import Span
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    obs.disable()
+    obs.get_tracer().clear()
+    yield
+    obs.disable()
+    obs.get_tracer().clear()
+
+
+def _sample_spans():
+    return [
+        Span(name="child", span_id=2, parent_id=1, pid=100,
+             start=1.010, duration=0.020, attrs={"n": 3}),
+        Span(name="root", span_id=1, parent_id=None, pid=100,
+             start=1.000, duration=0.050),
+        Span(name="worker.chunk", span_id=3, parent_id=1, pid=200,
+             start=1.015, duration=0.010, attrs={"hits": 7}),
+        Span(name="cache.hit", span_id=4, parent_id=1, pid=100,
+             start=1.001, duration=0.0, kind="instant",
+             attrs={"tier": "memory"}),
+    ]
+
+
+class TestChromeTrace:
+    def test_structure_and_units(self):
+        doc = chrome_trace(_sample_spans(), main_pid=100)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        root = next(e for e in complete if e["name"] == "root")
+        child = next(e for e in complete if e["name"] == "child")
+        # microsecond integers, zeroed at the earliest span
+        assert root["ts"] == 0
+        assert root["dur"] == 50_000
+        assert child["ts"] == 10_000
+        assert child["dur"] == 20_000
+        # attrs travel in args alongside the tree links
+        assert child["args"]["n"] == 3
+        assert child["args"]["parent_id"] == 1
+
+    def test_instants_and_worker_tracks(self):
+        doc = chrome_trace(_sample_spans(), main_pid=100)
+        events = doc["traceEvents"]
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["name"] == "cache.hit"
+        assert instant["s"] == "p"
+        # one process_name metadata record per pid; workers are their
+        # own Perfetto track
+        meta = {e["pid"]: e["args"]["name"] for e in events
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        assert set(meta) == {100, 200}
+        assert "worker" in meta[200]
+        chunk = next(e for e in events if e.get("name") == "worker.chunk")
+        assert chunk["pid"] == 200
+
+    def test_json_serializable(self):
+        doc = chrome_trace(_sample_spans())
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["traceEvents"]
+
+    def test_write_chrome_trace_from_tracer(self, tmp_path):
+        tracer = obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner", k="v"):
+                pass
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer)
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        assert {"outer", "inner"} <= names
+
+
+class TestPrometheus:
+    def test_families_and_values(self):
+        snapshot = {
+            "timers": {"artifact.hazard": 1.25, "cli.fig7": 2.5},
+            "timer_calls": {"artifact.hazard": 2, "cli.fig7": 1},
+            "counters": {"cache.hits.memory": 7, "index.candidates": 123},
+        }
+        text = prometheus_text(snapshot)
+        lines = text.splitlines()
+        assert "# TYPE repro_stage_seconds_total counter" in lines
+        assert ('repro_stage_seconds_total{stage="artifact.hazard"} '
+                '1.250000') in lines
+        assert 'repro_stage_calls_total{stage="cli.fig7"} 1' in lines
+        assert 'repro_events_total{counter="cache.hits.memory"} 7' \
+            in lines
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        snapshot = {"timers": {'we"ird\\name': 1.0},
+                    "timer_calls": {'we"ird\\name': 1}, "counters": {}}
+        text = prometheus_text(snapshot)
+        assert '\\"' in text and "\\\\" in text
+
+
+class TestJsonlSink:
+    def test_streams_one_line_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = obs.enable()
+        tracer.set_sink(JsonlSink(path))
+        with obs.span("a", x=1):
+            obs.event("hit")
+        obs.disable()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["hit", "a"]
+        assert records[0]["type"] == "instant"
+        assert records[1]["type"] == "span"
+        assert records[1]["attrs"] == {"x": 1}
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with JsonlSink(path) as sink:
+            sink(Span(name="x", span_id=1, parent_id=None, pid=1,
+                      start=0.0, duration=0.1).to_dict())
+        assert json.loads(path.read_text())["name"] == "x"

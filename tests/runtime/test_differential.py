@@ -185,3 +185,70 @@ def test_overlay_on_real_universe_seasons(universe):
                                  chunk_size=4_096, use_cache=False)
         assert_identical(serial, reference)
         assert_identical(parallel, reference)
+
+
+# ----------------------------------------------------------------------
+# Counter parity: the worker -> parent stats merge must account for
+# every index query, not just produce the right mask.  Each fire is
+# evaluated by exactly one worker against the same full-universe index
+# the serial loop queries, so the *totals* of every index counter are
+# identical by construction -- if the merge drops or double-counts a
+# worker delta, this is the test that notices.
+# ----------------------------------------------------------------------
+
+def _index_counters(before: dict) -> dict[str, int]:
+    """Index-family counter deltas accumulated since ``before``."""
+    from repro.runtime import STATS
+    counters = STATS.delta_since(before)["counters"]
+    return {k: v for k, v in counters.items() if k.startswith("index.")}
+
+
+def test_overlay_counter_totals_serial_vs_parallel():
+    from repro.runtime import STATS
+
+    cells = random_universe(4, 3_000)
+    fires = random_fires(4, 8)
+    cells.index()                      # memoized build outside the brackets
+
+    before = STATS.snapshot()
+    serial = overlay_fires(cells, fires, year=2018, workers=1,
+                           use_cache=False)
+    serial_counters = _index_counters(before)
+
+    shutdown_pools()                   # force fresh workers (fresh deltas)
+    before = STATS.snapshot()
+    parallel = overlay_fires(cells, fires, year=2018, workers=4,
+                             use_cache=False)
+    after = STATS.delta_since(before)["counters"]
+    parallel_counters = {k: v for k, v in after.items()
+                         if k.startswith("index.")}
+
+    assert_identical(serial, parallel)
+    assert serial_counters, "serial run must exercise the index"
+    assert serial_counters == parallel_counters
+    if after.get("parallel.fallbacks", 0) == 0:
+        # the pool genuinely ran: the parity above covered the merge
+        assert after.get("parallel.pool_runs", 0) >= 1
+
+
+def test_classify_counter_totals_serial_vs_parallel(universe):
+    from repro.runtime import STATS
+
+    cells = universe.cells
+
+    before = STATS.snapshot()
+    serial = classify_cells(cells, universe.whp, workers=1,
+                            use_cache=False)
+    serial_samples = STATS.delta_since(before)["counters"] \
+        .get("raster.samples", 0)
+
+    shutdown_pools()
+    before = STATS.snapshot()
+    parallel = classify_cells(cells, universe.whp, workers=4,
+                              chunk_size=4_096, use_cache=False)
+    parallel_samples = STATS.delta_since(before)["counters"] \
+        .get("raster.samples", 0)
+
+    assert (serial == parallel).all()
+    assert serial_samples == len(cells)
+    assert parallel_samples == serial_samples

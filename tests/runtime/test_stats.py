@@ -46,6 +46,26 @@ class TestPerfRegistry:
         delta = reg.delta_since(before)
         assert delta["counters"] == {"a": 4, "b": 2}
 
+    def test_delta_since_keeps_zero_time_stage_with_calls(self):
+        """A stage that ran but accumulated exactly 0.0 extra seconds
+        must still appear in the delta — its call count moved."""
+        reg = PerfRegistry()
+        reg.add_time("fast_stage", 0.125, calls=1)
+        before = reg.snapshot()
+        reg.add_time("fast_stage", 0.0, calls=3)   # e.g. coarse clock
+        delta = reg.delta_since(before)
+        assert delta["timers"] == {"fast_stage": 0.0}
+        assert delta["timer_calls"] == {"fast_stage": 3}
+
+    def test_delta_since_drops_untouched_stages(self):
+        reg = PerfRegistry()
+        reg.add_time("idle", 1.0)
+        before = reg.snapshot()
+        reg.add_time("busy", 0.5)
+        delta = reg.delta_since(before)
+        assert "idle" not in delta["timers"]
+        assert delta["timer_calls"] == {"busy": 1}
+
     def test_reset(self):
         reg = PerfRegistry()
         reg.count("x")
@@ -75,6 +95,36 @@ class TestPerfRegistry:
         assert "75.0%" in text       # cache hit rate
         assert "25.0%" in text       # index selectivity
 
+    def test_render_aligns_long_stage_names(self):
+        """Stage names past the historic 32-char column keep the
+        seconds column aligned (widths grow with the content)."""
+        long_name = "artifact.season_overlay.year_2018_with_validation"
+        assert len(long_name) > 32
+        reg = PerfRegistry()
+        reg.add_time(long_name, 1.5)
+        reg.add_time("short", 0.25)
+        lines = reg.render().splitlines()
+        stage_lines = [ln for ln in lines if "call" in ln]
+        # the seconds field ends at the same character on every row
+        ends = {ln.index("s  (") for ln in stage_lines}
+        assert len(ends) == 1
+        assert min(len(ln) for ln in stage_lines) > len(long_name)
+
+    def test_render_aligns_enormous_counters(self):
+        """Counters past 999,999,999,999 widen the value column for
+        every row instead of overflowing their own."""
+        reg = PerfRegistry()
+        reg.count("index.candidates", 7_500_000_000_000_123)
+        reg.count("index.hits", 42)
+        lines = reg.render().splitlines()
+        big = next(ln for ln in lines if "candidates" in ln)
+        small = next(ln for ln in lines if "index.hits" in ln)
+        assert "7,500,000,000,000,123" in big
+        # right-aligned in a shared column: both rows end together
+        assert len(big) == len(small)
+        sel = next(ln for ln in lines if "selectivity" in ln)
+        assert len(sel) == len(big)
+
 
 class TestRenderStats:
     def test_renders_tables(self):
@@ -103,8 +153,9 @@ class TestInstrumentationHooks:
 
     def test_raster_sampling_counts(self, universe):
         n = 257
+        raster = universe.whp.raster   # materialize outside the bracket
         before = STATS.get("raster.samples")
-        universe.whp.raster.sample(np.full(n, -105.0), np.full(n, 39.0))
+        raster.sample(np.full(n, -105.0), np.full(n, 39.0))
         assert STATS.get("raster.samples") == before + n
 
     def test_parallel_counters(self):

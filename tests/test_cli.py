@@ -79,3 +79,122 @@ class TestCommands:
     def test_map(self):
         out = _run("map", "--figure", "6", "--width", "60")
         assert len(out.splitlines()) > 5
+
+
+class TestObservabilityFlags:
+    """The --trace / --log-json / --metrics / --profile / --mem
+    surfaces and the `repro trace` subcommand."""
+
+    def test_trace_writes_chrome_trace(self, tmp_path):
+        import json
+
+        from repro import runtime
+
+        path = tmp_path / "trace.json"
+        saved = runtime.get_config()
+        try:
+            # --no-cache so the join bodies (and their spans) actually
+            # run even when earlier tests warmed the global cache
+            out = _run("--no-cache", "--trace", str(path), "fig7")
+        finally:
+            runtime.set_config(saved)
+            runtime.set_cache(None)
+        assert "Very High" in out            # the stage still renders
+        assert f"-> {path}" in out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "stage.fig7" in names
+        # one span per artifact the stage built (memo hits emit events,
+        # not spans, so these appear exactly once)
+        assert "artifact.whp_classes" in names
+        assert "classify_cells" in names
+        spans = [e for e in events if e["ph"] == "X"]
+        assert all(isinstance(e["ts"], int) and isinstance(e["dur"], int)
+                   for e in spans)
+        assert any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+
+    def test_trace_all_one_span_per_artifact_build(self, tmp_path):
+        """`repro all --trace` ships a valid trace where each artifact
+        build appears exactly once per parameterization (the session
+        memo guarantees a second request is a hit, not a new span)."""
+        import json
+        from collections import Counter
+
+        path = tmp_path / "all.json"
+        _run("--trace", str(path), "all")
+        doc = json.loads(path.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        builds = Counter()
+        for e in spans:
+            if e["name"].startswith("artifact."):
+                args = e["args"]
+                params = tuple(sorted((k, v) for k, v in args.items()
+                                      if k not in ("span_id", "parent_id")))
+                builds[(e["name"], params)] += 1
+        assert builds, "repro all must build artifacts"
+        dupes = {k: n for k, n in builds.items() if n != 1}
+        assert not dupes
+        # every registered stage that ran got a stage span
+        stage_names = {e["name"] for e in spans
+                       if e["name"].startswith("stage.")}
+        assert {"stage.table1", "stage.fig7", "stage.validate"} \
+            <= stage_names
+
+    def test_trace_subcommand_prints_tree(self):
+        out = _run("trace", "fig7", "--min-ms", "0")
+        assert "stage.fig7" in out
+        assert "artifact." in out
+        assert "%" in out                    # share-of-parent column
+
+    def test_trace_subcommand_writes_out_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        out = _run("trace", "fig7", "--out", str(path))
+        assert f"-> {path}" in out
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_log_json_streams_spans(self, tmp_path):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        _run("--log-json", str(path), "fig7")
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert any(r["name"] == "stage.fig7" for r in records)
+        assert all("type" in r for r in records)
+
+    def test_metrics_exposition(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        _run("--metrics", str(path), "fig7")
+        text = path.read_text()
+        assert "# TYPE repro_stage_seconds_total counter" in text
+        assert 'repro_stage_seconds_total{stage="cli.fig7"}' in text
+
+    def test_profile_dumps_pstats(self, tmp_path):
+        import pstats
+
+        path = tmp_path / "prof.pstats"
+        out = _run("--profile", str(path), "fig7")
+        assert "profile: 1 stages" in out
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_mem_flag_attaches_rss_attrs(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        _run("--mem", "--trace", str(path), "fig7")
+        doc = json.loads(path.read_text())
+        arts = [e for e in doc["traceEvents"]
+                if e.get("name", "").startswith("artifact.")]
+        assert arts
+        assert any("rss_kb_after" in e["args"] for e in arts)
+
+    def test_tracing_off_leaves_no_spans(self):
+        from repro import obs
+
+        _run("fig7")
+        assert not obs.is_enabled()
