@@ -17,14 +17,18 @@ via :func:`record_timing` — the perf trajectory future PRs diff against.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.data import SyntheticUS, default_universe
 from repro.runtime import STATS, get_config
+
+_SESSION_T0 = time.perf_counter()
 
 #: Named measurements (section -> payload) merged into BENCH_runtime.json.
 RUNTIME_BENCH: dict[str, dict] = {}
@@ -57,13 +61,24 @@ def record_timing(section: str, **payload) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:
-    """Dump the session's runtime stats as machine-readable JSON."""
+    """Dump the session's runtime stats as machine-readable JSON.
+
+    Schema ``bench-runtime/2``: ISO-8601 UTC timestamp, git SHA, and
+    cpu count replace the bare ``generated_unix`` float of schema 1
+    (``repro history --bench`` ingests both).  When a run ledger is
+    armed (``REPRO_LEDGER_DIR``), the same measurements are appended
+    there as a bench-kind manifest, so benchmark sessions and CLI runs
+    share one perf history — the ``repro gate`` CI baseline.
+    """
     cfg = get_config()
     snapshot = STATS.snapshot()
     counters = snapshot["counters"]
+    generated_iso = obs.utc_now_iso()
     report = {
-        "schema": "bench-runtime/1",
-        "generated_unix": time.time(),
+        "schema": "bench-runtime/2",
+        "generated_iso": generated_iso,
+        "git_sha": obs.git_sha(),
+        "cpu_count": os.cpu_count() or 1,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "config": {
@@ -85,5 +100,27 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     try:
         BENCH_JSON_PATH.write_text(json.dumps(report, indent=2,
                                               sort_keys=True) + "\n")
+    except OSError:
+        pass
+
+    ledger_dir = obs.resolve_ledger_dir()
+    if ledger_dir is None:
+        return
+    manifest = obs.RunManifest(
+        run_id=obs.new_run_id(),
+        kind="bench",
+        command="bench",
+        started=generated_iso,
+        duration_s=round(time.perf_counter() - _SESSION_T0, 6),
+        config=report["config"],
+        timers=snapshot["timers"],
+        timer_calls=snapshot["timer_calls"],
+        counters=counters,
+        extra={"sections": RUNTIME_BENCH,
+               "exit_status": int(exitstatus)},
+        **obs.environment(),
+    )
+    try:
+        obs.Ledger(ledger_dir).append(manifest)
     except OSError:
         pass

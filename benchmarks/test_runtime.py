@@ -453,3 +453,70 @@ def test_runtime_trace_overhead(tmp_path):
     assert artifact_s, "the trace must contain artifact build spans"
     assert span_total_s <= 1.05 * untraced_s + 0.1, \
         "traced span total must stay within 5% of the untraced wall"
+
+
+def test_runtime_ledger_overhead(tmp_path):
+    """The run ledger must be free when off and cheap when on.
+
+    Same best-of-N discipline as the trace-overhead guard: identical
+    cold ``repro all`` invocations with the ledger disabled and with
+    ``--ledger-dir`` armed.  The disabled side carries exactly one
+    ``is None`` check per artifact build, so it must match the
+    pre-ledger baseline by construction; the armed side pays for
+    fingerprinting every artifact and checksumming every rendered
+    stage, and still has to land within 5% plus a small epsilon.  The
+    recorded manifest is also checked for its provenance payload —
+    an empty manifest passing the timing guard would be vacuous.
+    """
+    import io
+
+    from repro import obs
+
+    workers = os.environ.get("REPRO_WORKERS", "4")
+    base = ["-n", "20000", "--whp-res", "0.1", "--workers", workers,
+            "--no-cache"]
+    ledger_dir = tmp_path / "ledger"
+    reps = 2
+
+    previous = get_config()
+    set_cache(None)
+    plain, ledgered = [], []
+    try:
+        assert cli_main(base + ["all"], stream=io.StringIO()) == 0
+
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            assert cli_main(base + ["all"], stream=io.StringIO()) == 0
+            plain.append(time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            assert cli_main(
+                ["--ledger-dir", str(ledger_dir)] + base + ["all"],
+                stream=io.StringIO()) == 0
+            ledgered.append(time.perf_counter() - t0)
+    finally:
+        set_config(previous)
+        set_cache(None)
+
+    plain_s = min(plain)
+    ledgered_s = min(ledgered)
+    runs = obs.Ledger(ledger_dir).runs()
+    latest = runs[-1]
+
+    record_timing(
+        "ledger_overhead",
+        n="20000", workers=int(workers), runs_recorded=len(runs),
+        n_artifacts=len(latest.artifacts), n_outputs=len(latest.outputs),
+        plain_s=plain_s, ledgered_s=ledgered_s,
+        overhead_ratio=ledgered_s / max(plain_s, 1e-9))
+    print_result(
+        "RUNTIME — ledger overhead",
+        f"off {plain_s:.2f}s | on {ledgered_s:.2f}s "
+        f"({len(latest.artifacts)} artifacts fingerprinted, "
+        f"{len(latest.outputs)} outputs checksummed, "
+        f"ratio {ledgered_s / max(plain_s, 1e-9):.3f})")
+    assert len(runs) == reps
+    assert latest.artifacts and latest.outputs
+    assert latest.git_sha == obs.git_sha()
+    assert ledgered_s <= 1.05 * plain_s + 0.1, \
+        "an armed ledger must stay within 5% of the plain wall"

@@ -34,12 +34,23 @@ counters; ``--profile FILE`` runs every stage under cProfile;
 ``--mem`` samples RSS/heap per artifact build.  ``repro trace
 [STAGE]`` runs a stage (default: everything) traced and prints the
 span tree.
+
+Provenance (see docs/observability.md): with ``--ledger-dir DIR`` (or
+``REPRO_LEDGER_DIR``) every run appends a manifest — git SHA, version,
+config, per-stage timings/counters, per-artifact fingerprints, output
+checksums — to an append-only run ledger.  ``repro history [STAGE]``
+shows the trend across runs, ``repro compare RUN_A RUN_B`` diffs two
+runs (perf deltas + output drift), and ``repro gate`` fails when the
+latest run regressed past a threshold against the median of the last N
+baseline runs.  ``repro --version`` prints the package version and git
+SHA that every manifest embeds.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from . import obs, runtime
 from .core import report
@@ -50,10 +61,28 @@ from .session import (
     get_stage,
     iter_stages,
     register_stage,
+    set_artifact_observer,
     stages_in_all,
 )
 
 __all__ = ["main", "build_parser"]
+
+
+class _VersionAction(argparse.Action):
+    """``repro --version``: package version + git SHA, then exit.
+
+    The SHA lookup shells out to git, so it runs only when the flag is
+    actually used — never on the normal parse path.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "show version and git SHA, then exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        sys.stdout.write(obs.version_string() + "\n")
+        parser.exit()
 
 
 def _run_map(session: AnalysisSession, args: argparse.Namespace) -> str:
@@ -78,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Five Alarms' (IMC 2020) tables/figures.")
+    parser.add_argument("--version", action=_VersionAction)
     parser.add_argument("-n", "--transceivers", type=int, default=60_000,
                         help="synthetic universe size (default 60000)")
     parser.add_argument("--seed", type=int, default=20_190_722)
@@ -109,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mem", action="store_true",
                         help="sample RSS / Python-heap peak per "
                              "artifact build (adds span attributes)")
+    parser.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="append a run manifest (provenance, "
+                             "timings, output checksums) to the ledger "
+                             "in DIR ($REPRO_LEDGER_DIR; off by "
+                             "default)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for stage in iter_stages():
@@ -138,6 +173,50 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--events", action="store_true",
         help="show instant events (cache/pool) in the tree")
+
+    history_parser = sub.add_parser(
+        "history", help="show the run-ledger timing trend")
+    history_parser.add_argument(
+        "stage", nargs="?", default=None,
+        help="track one stage's timer instead of the run total")
+    history_parser.add_argument(
+        "--limit", type=int, default=20,
+        help="show at most this many runs (default 20)")
+    history_parser.add_argument(
+        "--bench", metavar="FILE", action="append", default=[],
+        help="also ingest a BENCH_runtime.json "
+             "(schema bench-runtime/1 or /2; repeatable)")
+
+    compare_parser = sub.add_parser(
+        "compare", help="diff two ledger runs (perf + output drift)")
+    compare_parser.add_argument(
+        "run_a", help="run-id prefix or index (-2 = previous run)")
+    compare_parser.add_argument(
+        "run_b", nargs="?", default="-1",
+        help="second run (default: -1, the latest)")
+    compare_parser.add_argument(
+        "--min-seconds", type=float, default=0.0,
+        help="hide timers below this on both sides")
+
+    gate_parser = sub.add_parser(
+        "gate", help="fail when the latest run regressed vs the "
+                     "baseline median")
+    gate_parser.add_argument(
+        "stage", nargs="?", default=None,
+        help="gate only this stage's timers (default: all)")
+    gate_parser.add_argument(
+        "--baseline", type=int, default=5,
+        help="baseline size: median of the last N prior runs "
+             "(default 5)")
+    gate_parser.add_argument(
+        "--threshold", type=float, default=1.3,
+        help="regression ratio vs the baseline median (default 1.3)")
+    gate_parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="noise floor: skip timers under this on both sides")
+    gate_parser.add_argument(
+        "--fail-on-drift", action="store_true",
+        help="also exit nonzero when output checksums drifted")
     return parser
 
 
@@ -165,6 +244,125 @@ def _configure_runtime(args: argparse.Namespace) -> None:
     if overrides:
         runtime.configure(**overrides)
         runtime.set_cache(None)   # rebuild the cache from the new config
+
+
+def _runtime_config_dict() -> dict:
+    cfg = runtime.get_config()
+    return {
+        "workers": cfg.workers,
+        "chunk_size": cfg.chunk_size,
+        "cache_enabled": cfg.cache_enabled,
+        "cache_dir": str(cfg.cache_dir) if cfg.cache_dir else None,
+    }
+
+
+def _configure_ledger(args: argparse.Namespace) -> dict | None:
+    """Arm run-manifest recording when a ledger directory is set.
+
+    Returns ``None`` (and installs nothing — zero overhead) when the
+    ledger is off.  When armed: snapshots the perf registry so the
+    manifest records *this run's* delta, and installs the session
+    artifact observer that fingerprints every built artifact.
+    """
+    ledger_dir = obs.resolve_ledger_dir(args.ledger_dir)
+    if ledger_dir is None:
+        return None
+    state = {
+        "dir": ledger_dir,
+        "t0": time.perf_counter(),
+        "started": obs.utc_now_iso(),
+        "before": runtime.STATS.snapshot(),
+        "artifacts": {},
+        "outputs": {},
+    }
+
+    def observe(name: str, key: tuple, seconds: float, value) -> None:
+        label = name if not key[1] else name + "(" + ", ".join(
+            f"{k}={v!r}" for k, v in key[1]) + ")"
+        state["artifacts"][label] = {
+            "seconds": round(seconds, 6),
+            "sha256": obs.fingerprint(value),
+        }
+
+    set_artifact_observer(observe)
+    return state
+
+
+def _finalize_ledger(args: argparse.Namespace, state: dict,
+                     argv: list[str], out) -> None:
+    """Append this run's manifest to the ledger (success path only)."""
+    delta = runtime.STATS.delta_since(state["before"])
+    delta.pop("spans", None)
+    manifest = obs.RunManifest(
+        run_id=obs.new_run_id(),
+        kind="cli",
+        command=args.command,
+        started=state["started"],
+        duration_s=round(time.perf_counter() - state["t0"], 6),
+        argv=[str(a) for a in argv],
+        config=_runtime_config_dict(),
+        universe={"n_transceivers": args.transceivers,
+                  "seed": args.seed,
+                  "whp_resolution_deg": args.whp_res},
+        timers=delta["timers"],
+        timer_calls=delta["timer_calls"],
+        counters=delta["counters"],
+        artifacts=dict(sorted(state["artifacts"].items())),
+        outputs=dict(sorted(state["outputs"].items())),
+        **obs.environment(),
+    )
+    try:
+        path = obs.Ledger(state["dir"]).append(manifest)
+    except OSError as exc:
+        # An unwritable ledger must never sink a finished analysis —
+        # same contract as an unwritable cache dir.
+        out(f"ledger: unwritable ({exc}); run not recorded")
+        return
+    out(f"ledger: run {manifest.run_id} -> {path}")
+
+
+def _run_ledger_command(args: argparse.Namespace, out) -> int:
+    """The read-only ledger surfaces: history, compare, gate."""
+    ledger_dir = obs.resolve_ledger_dir(args.ledger_dir,
+                                        for_reading=True)
+    if ledger_dir is None:
+        out("no ledger found: pass --ledger-dir DIR (before the "
+            "subcommand) or set REPRO_LEDGER_DIR")
+        return 2
+    ledger = obs.Ledger(ledger_dir)
+    runs = ledger.runs()
+    if args.command == "history":
+        for bench in args.bench:
+            runs.append(obs.ingest_bench(bench))
+        runs.sort(key=lambda r: r.started)
+        out(report.render_history(runs, stage=args.stage,
+                                  limit=args.limit))
+        if ledger.skipped:
+            out(f"({ledger.skipped} corrupt ledger lines skipped)")
+        return 0
+    if not runs:
+        out(f"ledger {ledger.path} has no runs")
+        return 2
+    if args.command == "compare":
+        try:
+            run_a = ledger.resolve(args.run_a, runs)
+            run_b = ledger.resolve(args.run_b, runs)
+        except KeyError as exc:
+            out(str(exc.args[0]))
+            return 2
+        diff = obs.compare_runs(run_a, run_b,
+                                min_seconds=args.min_seconds)
+        out(report.render_compare(diff))
+        return 0
+    gate = obs.gate_check(runs, baseline=args.baseline,
+                          threshold=args.threshold, stage=args.stage,
+                          min_seconds=args.min_seconds)
+    out(report.render_gate(gate))
+    if not gate.ok:
+        return 1
+    if args.fail_on_drift and gate.drift:
+        return 1
+    return 0
 
 
 def _configure_obs(args: argparse.Namespace) -> dict:
@@ -227,17 +425,25 @@ def main(argv: list[str] | None = None, stream=None) -> int:
     if args.command == "list":
         out(report.render_stage_list(iter_stages()))
         return 0
+    if args.command in ("history", "compare", "gate"):
+        return _run_ledger_command(args, out)
 
     obs_state = _configure_obs(args)
     profiler = obs_state["profiler"]
+    ledger_state = _configure_ledger(args)
 
     def run_stage(stage, session) -> str:
         with obs.span(f"stage.{stage.name}", paper=stage.paper):
             with runtime.STATS.timer(f"cli.{stage.name}"):
                 if profiler is not None:
                     with profiler.stage(stage.name):
-                        return stage.run(session, args)
-                return stage.run(session, args)
+                        text = stage.run(session, args)
+                else:
+                    text = stage.run(session, args)
+        if ledger_state is not None:
+            ledger_state["outputs"][stage.name] = \
+                obs.checksum_text(text)
+        return text
 
     try:
         session = AnalysisSession(_universe(args))
@@ -263,6 +469,12 @@ def main(argv: list[str] | None = None, stream=None) -> int:
         if args.stats:
             out("")
             out(report.render_stats(runtime.STATS.snapshot()))
+        if ledger_state is not None:
+            _finalize_ledger(args, ledger_state,
+                             argv if argv is not None else sys.argv[1:],
+                             out)
     finally:
+        if ledger_state is not None:
+            set_artifact_observer(None)
         _finalize_obs(args, obs_state, out)
     return 0

@@ -27,6 +27,9 @@ __all__ = [
     "render_stats",
     "render_span_tree",
     "render_stage_list",
+    "render_history",
+    "render_compare",
+    "render_gate",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -169,6 +172,135 @@ def render_stage_list(stages) -> str:
         body.append([stage.name, stage.paper, in_all, deps])
     return format_table(["Stage", "Paper", "In 'all'", "Artifacts"],
                         body)
+
+
+def _when(iso: str) -> str:
+    """Compact ledger timestamp: drop seconds and the UTC offset."""
+    return iso[:16].replace("T", " ")
+
+
+def _sha7(sha: str | None) -> str:
+    return sha[:7] if sha else "-"
+
+
+def _pct_delta(a: float, b: float) -> str:
+    if a <= 0:
+        return "-" if b <= 0 else "new"
+    return f"{(b - a) / a:+.1%}"
+
+
+def render_history(runs, *, stage: str | None = None,
+                   limit: int = 20) -> str:
+    """``repro history``: the ledger's run trend as a table.
+
+    One row per run (oldest first, last ``limit``): id, start time,
+    git SHA, kind/command, the tracked wall time — a named stage's
+    timer when ``stage`` is given, the run's headline total otherwise
+    — and the delta against the previous displayed run.
+    """
+    runs = list(runs)[-limit:]
+    if not runs:
+        return "(ledger is empty)"
+    col = f"{stage} s" if stage else "total s"
+    body, prev = [], None
+    for run in runs:
+        if stage:
+            seconds = run.timer_for(stage)
+        else:
+            seconds = run.total_seconds()
+        cell = f"{seconds:.3f}" if seconds is not None else "-"
+        delta = _pct_delta(prev, seconds) \
+            if prev is not None and seconds is not None else "-"
+        body.append([run.run_id[:8], _when(run.started),
+                     _sha7(run.git_sha), run.kind, run.command,
+                     cell, delta])
+        if seconds is not None:
+            prev = seconds
+    return format_table(
+        ["Run", "When", "SHA", "Kind", "Cmd", col, "Δ%"], body)
+
+
+def render_compare(diff: dict, *, min_seconds: float = 0.0) -> str:
+    """``repro compare``: perf deltas and output drift between runs.
+
+    ``diff`` is :func:`repro.obs.ledger.compare_runs` output.  Four
+    sections: a header naming both runs, the timer deltas (rows under
+    ``min_seconds`` on both sides are already dropped upstream), the
+    counter deltas (only counters that moved), and the drift report —
+    stages/artifacts whose content checksum changed, appeared, or
+    disappeared between the two runs.
+    """
+    a, b = diff["a"], diff["b"]
+    out = ["-- run comparison --",
+           f"A: {a.run_id[:8]}  {_when(a.started)}  "
+           f"{_sha7(a.git_sha)}  {a.kind}:{a.command}",
+           f"B: {b.run_id[:8]}  {_when(b.started)}  "
+           f"{_sha7(b.git_sha)}  {b.kind}:{b.command}"]
+
+    timer_rows = [[name, f"{av:.3f}", f"{bv:.3f}", _pct_delta(av, bv)]
+                  for name, av, bv in diff["timers"]]
+    if timer_rows:
+        out.append(format_table(["Stage", "A s", "B s", "Δ%"],
+                                timer_rows))
+    counter_rows = [[name, f"{av:,}", f"{bv:,}", f"{bv - av:+,}"]
+                    for name, av, bv in diff["counters"] if av != bv]
+    if counter_rows:
+        out.append(format_table(["Counter", "A", "B", "Δ"],
+                                counter_rows))
+
+    drift_lines = []
+    for kind in ("outputs", "artifacts"):
+        buckets = diff[kind]
+        for name in buckets["changed"]:
+            drift_lines.append(f"  ~ {kind[:-1]} {name}: content changed")
+        for name in buckets["added"]:
+            drift_lines.append(f"  + {kind[:-1]} {name}: only in B")
+        for name in buckets["removed"]:
+            drift_lines.append(f"  - {kind[:-1]} {name}: only in A")
+    if drift_lines:
+        out.append("drift:")
+        out.extend(drift_lines)
+    else:
+        out.append("drift: none (all shared checksums identical)")
+    return "\n".join(out)
+
+
+def render_gate(report) -> str:
+    """``repro gate``: the regression-gate verdict.
+
+    ``report`` is a :class:`repro.obs.ledger.GateReport`.  Regressions
+    (timer/counter past threshold x baseline median) and drift
+    (checksums changed) are listed separately — drift alone does not
+    fail the gate.
+    """
+    latest = report.latest
+    head = (f"gate: run {latest.run_id[:8]} vs median of "
+            f"{len(report.baseline_ids)} baseline run"
+            f"{'s' if len(report.baseline_ids) != 1 else ''} "
+            f"(threshold {report.threshold:g}x)")
+    out = [head]
+    if not report.has_baseline:
+        out.append("  no baseline yet - gate passes vacuously")
+        return "\n".join(out)
+    for r in report.regressions:
+        if r["kind"] == "timer":
+            out.append(f"  REGRESSION {r['name']}: {r['latest']:.3f}s "
+                       f"vs median {r['median']:.3f}s "
+                       f"({r['ratio']:.2f}x)")
+        else:
+            out.append(f"  REGRESSION {r['name']}: {r['latest']:,} "
+                       f"vs median {r['median']:,.0f} "
+                       f"({r['ratio']:.2f}x)")
+    for d in report.drift:
+        out.append(f"  drift: {d['kind']} {d['name']} changed content")
+    if report.ok:
+        verdict = "OK" if not report.drift else \
+            "OK (drift detected, no perf regression)"
+        out.append(f"  {verdict}")
+    if report.skipped_small:
+        out.append(f"  ({report.skipped_small} timers under the "
+                   f"noise floor skipped)")
+    return "\n".join(out)
 
 
 def render_table1(rows: list[Table1Row]) -> str:

@@ -14,7 +14,11 @@ Layering:
   :func:`event` probes, and the worker → parent adoption protocol that
   rides the existing ``STATS.snapshot()/merge()`` channel;
 * :mod:`.export` — trace_event JSON, Prometheus exposition, JSONL sink;
-* :mod:`.profile` — memory sampling and the cProfile stage wrapper.
+* :mod:`.profile` — memory sampling and the cProfile stage wrapper;
+* :mod:`.manifest` / :mod:`.ledger` — per-run provenance manifests
+  (git SHA, config, timings, counters, output checksums) and the
+  append-only run ledger behind ``repro history`` / ``repro compare``
+  / ``repro gate``.
 
 Everything is stdlib-only and **zero-overhead when disabled**: the
 probes check one module-level boolean and return a shared no-op, so
@@ -30,6 +34,26 @@ from .export import (
     chrome_trace,
     prometheus_text,
     write_chrome_trace,
+)
+from .ledger import (
+    DEFAULT_LEDGER_DIR,
+    GateReport,
+    Ledger,
+    compare_runs,
+    gate_check,
+    ingest_bench,
+    resolve_ledger_dir,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    checksum_text,
+    environment,
+    fingerprint,
+    git_sha,
+    new_run_id,
+    utc_now_iso,
+    version_string,
 )
 from .profile import (
     StageProfiler,
@@ -56,4 +80,9 @@ __all__ = [
     "chrome_trace", "write_chrome_trace", "prometheus_text", "JsonlSink",
     "StageProfiler", "enable_memory_sampling", "disable_memory_sampling",
     "memory_sampling_enabled", "memory_probe", "rss_kb",
+    "MANIFEST_SCHEMA", "RunManifest", "checksum_text", "environment",
+    "fingerprint", "git_sha", "new_run_id", "utc_now_iso",
+    "version_string",
+    "DEFAULT_LEDGER_DIR", "GateReport", "Ledger", "compare_runs",
+    "gate_check", "ingest_bench", "resolve_ledger_dir",
 ]

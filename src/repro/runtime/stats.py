@@ -93,11 +93,17 @@ class PerfRegistry:
             _TRACE_CHANNEL.adopt(spans)
 
     def snapshot(self) -> dict:
-        """A JSON-serializable copy of the current state."""
+        """A JSON-serializable copy of the current state.
+
+        Keys are sorted, so serializing a snapshot (the run-ledger
+        manifest, ``BENCH_runtime.json``) yields byte-identical output
+        regardless of the order stages and counters first fired in —
+        parallel dispatch must not make ledger diffs churn.
+        """
         snap = {
-            "timers": dict(self._timers),
-            "timer_calls": dict(self._timer_calls),
-            "counters": dict(self._counters),
+            "timers": dict(sorted(self._timers.items())),
+            "timer_calls": dict(sorted(self._timer_calls.items())),
+            "counters": dict(sorted(self._counters.items())),
         }
         if _TRACE_CHANNEL is not None:
             snap["span_count"] = _TRACE_CHANNEL.span_count()

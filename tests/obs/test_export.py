@@ -112,6 +112,37 @@ class TestPrometheus:
         text = prometheus_text(snapshot)
         assert '\\"' in text and "\\\\" in text
 
+    def test_counter_label_escaping_round_trips(self):
+        """A stage name holding quotes, backslashes, and a newline must
+        land as one valid exposition line whose unescaped label equals
+        the original name."""
+        name = 'stage "q"\\path\nnext'
+        snapshot = {"timers": {name: 0.5}, "timer_calls": {name: 1},
+                    "counters": {name: 9}}
+        text = prometheus_text(snapshot)
+        line = next(ln for ln in text.splitlines()
+                    if ln.startswith("repro_events_total"))
+        label = line[line.index('{counter="') + len('{counter="'):
+                     line.rindex('"}')]
+        assert "\n" not in line
+        unescaped = label.replace(r"\n", "\n").replace(r"\"", '"') \
+            .replace("\\\\", "\\")
+        assert unescaped == name
+
+    def test_exposition_order_is_sorted_and_stable(self):
+        """Label order must not depend on counter insertion order —
+        ledger diffs of the exposition would churn otherwise."""
+        a = prometheus_text({"timers": {"b": 1.0, "a": 2.0},
+                             "timer_calls": {"b": 1, "a": 1},
+                             "counters": {"z.last": 1, "a.first": 2}})
+        b = prometheus_text({"timers": {"a": 2.0, "b": 1.0},
+                             "timer_calls": {"a": 1, "b": 1},
+                             "counters": {"a.first": 2, "z.last": 1}})
+        assert a == b
+        lines = [ln for ln in a.splitlines()
+                 if ln.startswith("repro_events_total")]
+        assert lines == sorted(lines)
+
 
 class TestJsonlSink:
     def test_streams_one_line_per_span(self, tmp_path):
@@ -134,3 +165,81 @@ class TestJsonlSink:
             sink(Span(name="x", span_id=1, parent_id=None, pid=1,
                       start=0.0, duration=0.1).to_dict())
         assert json.loads(path.read_text())["name"] == "x"
+
+    def test_closes_on_exception_and_keeps_prior_records(self,
+                                                         tmp_path):
+        """An exception inside the ``with`` body must still close the
+        file handle; spans streamed before the failure stay on disk."""
+        path = tmp_path / "s.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with JsonlSink(path) as sink:
+                sink(Span(name="before", span_id=1, parent_id=None,
+                          pid=1, start=0.0, duration=0.1).to_dict())
+                raise RuntimeError("boom")
+        assert sink._fh.closed
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["before"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "s.jsonl")
+        sink.close()
+        sink.close()                      # second close must not raise
+        assert sink._fh.closed
+
+    def test_pid_guard_blocks_inherited_sinks(self, tmp_path,
+                                              monkeypatch):
+        """A child process that inherited the tracer (fork) — or a
+        freshly-imported one under the spawn start method — must never
+        write to the parent's sink file handle.  The tracer records
+        the installing pid and checks it on every record; simulate the
+        foreign process by faking ``os.getpid`` at the check site."""
+        from repro.obs import trace as trace_mod
+
+        path = tmp_path / "s.jsonl"
+        tracer = obs.enable()
+        sink = JsonlSink(path)
+        tracer.set_sink(sink)
+        with obs.span("parent.span"):
+            pass
+        parent_pid = trace_mod.os.getpid()
+        monkeypatch.setattr(trace_mod.os, "getpid",
+                            lambda: parent_pid + 1)
+        with obs.span("child.span"):
+            pass
+        monkeypatch.undo()
+        sink.close()
+        names = [json.loads(line)["name"]
+                 for line in path.read_text().splitlines()]
+        assert "parent.span" in names
+        assert "child.span" not in names
+
+    def test_spawned_process_cannot_reach_the_parent_sink(self,
+                                                          tmp_path):
+        """Under the spawn start method the child re-imports the
+        module: its tracer must come up with no sink installed, so a
+        span recorded there never touches the parent's file."""
+        import multiprocessing as mp
+
+        path = tmp_path / "s.jsonl"
+        tracer = obs.enable()
+        tracer.set_sink(JsonlSink(path))
+        ctx = mp.get_context("spawn")
+        proc = ctx.Process(target=_spawned_span_worker)
+        proc.start()
+        proc.join(60)
+        assert proc.exitcode == 0
+        obs.disable()
+        names = [json.loads(line)["name"]
+                 for line in path.read_text().splitlines()]
+        assert "spawned.child" not in names
+
+
+def _spawned_span_worker() -> None:
+    """Runs in a spawn-context child: record a span there."""
+    from repro import obs as child_obs
+
+    child_obs.enable()
+    with child_obs.span("spawned.child"):
+        pass
+    assert child_obs.get_tracer()._sink is None

@@ -82,6 +82,26 @@ class TestPerfRegistry:
             pass
         json.dumps(reg.snapshot())
 
+    def test_snapshot_key_order_ignores_insertion_order(self):
+        """Snapshots are key-sorted so serialized manifests compare
+        bit-identical no matter which stage ran first."""
+        a = PerfRegistry()
+        a.add_time("zeta", 1.0)
+        a.add_time("alpha", 2.0)
+        a.count("z.n", 1)
+        a.count("a.n", 2)
+        b = PerfRegistry()
+        b.count("a.n", 2)
+        b.count("z.n", 1)
+        b.add_time("alpha", 2.0)
+        b.add_time("zeta", 1.0)
+        assert json.dumps(a.snapshot()) == json.dumps(b.snapshot())
+        snap = a.snapshot()
+        assert list(snap["timers"]) == ["alpha", "zeta"]
+        assert list(snap["counters"]) == ["a.n", "z.n"]
+        delta = a.delta_since(PerfRegistry().snapshot())
+        assert list(delta["timers"]) == ["alpha", "zeta"]
+
     def test_render_mentions_stages_and_counters(self):
         reg = PerfRegistry()
         reg.add_time("overlay_fires", 0.25)

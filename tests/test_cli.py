@@ -81,6 +81,161 @@ class TestCommands:
         assert len(out.splitlines()) > 5
 
 
+class TestVersionFlag:
+    def test_version_prints_version_and_sha(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"repro {__version__} (")
+
+
+class TestLedgerCLI:
+    """The run ledger: recording, history, compare, and the gate."""
+
+    SMALL = ["-n", "2000", "--no-cache"]
+
+    def _ledgered(self, ledger_dir, *argv):
+        buffer = io.StringIO()
+        code = main(["--ledger-dir", str(ledger_dir), *argv],
+                    stream=buffer)
+        return code, buffer.getvalue()
+
+    def _record_run(self, ledger_dir, *extra):
+        code, out = self._ledgered(ledger_dir, *self.SMALL, *extra,
+                                   "fig7")
+        assert code == 0
+        assert "ledger: run " in out
+
+    def test_disabled_by_default_writes_nothing(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        out = _run("fig7")
+        assert "ledger:" not in out
+        assert not (tmp_path / ".repro").exists()
+
+    def test_run_appends_manifest_with_provenance(self, tmp_path):
+        from repro import __version__
+        from repro.obs import Ledger
+
+        self._record_run(tmp_path / "led")
+        (run,) = Ledger(tmp_path / "led").runs()
+        assert run.kind == "cli" and run.command == "fig7"
+        assert run.version == __version__
+        assert run.universe["n_transceivers"] == 2000
+        assert run.config["cache_enabled"] is False
+        assert "cli.fig7" in run.timers
+        assert run.outputs["fig7"]
+        assert any(a.startswith("hazard") for a in run.artifacts)
+        for rec in run.artifacts.values():
+            assert len(rec["sha256"]) == 64 and rec["seconds"] >= 0
+
+    def test_identical_runs_have_identical_checksums(self, tmp_path):
+        from repro.obs import Ledger
+
+        led = tmp_path / "led"
+        self._record_run(led)
+        self._record_run(led)
+        a, b = Ledger(led).runs()
+        assert a.outputs == b.outputs
+        assert {k: v["sha256"] for k, v in a.artifacts.items()} == \
+            {k: v["sha256"] for k, v in b.artifacts.items()}
+
+    def test_history_and_compare_read_the_ledger_back(self, tmp_path):
+        led = tmp_path / "led"
+        self._record_run(led)
+        self._record_run(led)
+        code, out = self._ledgered(led, "history")
+        assert code == 0
+        assert "total s" in out and out.count("fig7") >= 2
+        code, out = self._ledgered(led, "history", "fig7")
+        assert code == 0 and "fig7 s" in out
+        code, out = self._ledgered(led, "compare", "-2", "-1")
+        assert code == 0
+        assert "cli.fig7" in out
+        assert "drift: none" in out
+
+    def test_unwritable_ledger_dir_does_not_sink_the_run(self):
+        code, out = self._ledgered("/proc/nope/led", *self.SMALL,
+                                   "fig7")
+        assert code == 0
+        assert "Very High" in out
+        assert "ledger: unwritable" in out
+        assert "run not recorded" in out
+
+    def test_missing_ledger_is_a_clean_error(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        buffer = io.StringIO()
+        assert main(["history"], stream=buffer) == 2
+        assert "no ledger found" in buffer.getvalue()
+
+    def test_gate_flags_injected_slowdown_as_regression(
+            self, tmp_path, monkeypatch):
+        """The acceptance scenario: a 2x slowdown injected into an
+        artifact build must trip the gate, while the healthy baseline
+        passes it."""
+        import dataclasses
+        import statistics
+        import time as time_mod
+
+        from repro import session as session_mod
+        from repro.obs import Ledger
+
+        led = tmp_path / "led"
+        for _ in range(3):
+            self._record_run(led)
+        code, out = self._ledgered(led, "gate", "--baseline", "5")
+        assert code == 0 and "OK" in out
+
+        median = statistics.median(
+            r.timers["cli.fig7"] for r in Ledger(led).runs())
+        spec = session_mod.get_artifact_spec("hazard")
+
+        def slow_build(session, **params):
+            time_mod.sleep(max(median, 0.1))
+            return spec.build(session, **params)
+
+        monkeypatch.setitem(
+            session_mod._ARTIFACTS, "hazard",
+            dataclasses.replace(spec, build=slow_build))
+        self._record_run(led)
+        monkeypatch.undo()
+
+        code, out = self._ledgered(led, "gate", "--baseline", "5")
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "cli.fig7" in out or "artifact.hazard" in out
+        assert "drift" not in out.lower()
+
+    def test_gate_flags_changed_seed_as_drift_not_regression(
+            self, tmp_path):
+        """The other acceptance half: different results at healthy
+        speed are drift, and only --fail-on-drift makes that fatal."""
+        led = tmp_path / "led"
+        for _ in range(3):
+            self._record_run(led)
+        self._record_run(led, "--seed", "424242")
+
+        code, out = self._ledgered(led, "gate", "--baseline", "5")
+        assert code == 0
+        assert "REGRESSION" not in out
+        assert "drift: output fig7" in out
+
+        code, _ = self._ledgered(led, "gate", "--baseline", "5",
+                                 "--fail-on-drift")
+        assert code == 1
+
+        code, out = self._ledgered(led, "compare", "-2", "-1")
+        assert code == 0
+        assert "~ output fig7: content changed" in out
+        assert "~ artifact whp_classes: content changed" in out
+
+
 class TestObservabilityFlags:
     """The --trace / --log-json / --metrics / --profile / --mem
     surfaces and the `repro trace` subcommand."""
