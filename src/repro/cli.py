@@ -55,17 +55,33 @@ import time
 from . import obs, runtime
 from .core import report
 from .data import SyntheticUS, UniverseConfig
+from .data.universe import SCALE_PRESETS, scale_config
 from .session import (
     AnalysisSession,
     StageOption,
     get_stage,
+    iter_global_options,
     iter_stages,
+    register_global_option,
     register_stage,
     set_artifact_observer,
     stages_in_all,
 )
 
 __all__ = ["main", "build_parser"]
+
+#: Parse-time defaults for the universe flags.  ``--scale`` presets
+#: yield to any flag the user moved off its default, so
+#: ``--scale paper -n 1000000`` is a million-point paper-raster run.
+_DEFAULT_TRANSCEIVERS = 60_000
+_DEFAULT_SEED = 20_190_722
+_DEFAULT_WHP_RES = 0.1
+
+register_global_option(StageOption(
+    "--scale", type=str, default=None,
+    choices=tuple(SCALE_PRESETS),
+    help="named universe scale (tiny/seed/paper); explicit -n / --seed "
+         "/ --whp-res flags override the preset's fields"))
 
 
 class _VersionAction(argparse.Action):
@@ -108,11 +124,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce 'Five Alarms' (IMC 2020) tables/figures.")
     parser.add_argument("--version", action=_VersionAction)
-    parser.add_argument("-n", "--transceivers", type=int, default=60_000,
+    parser.add_argument("-n", "--transceivers", type=int,
+                        default=_DEFAULT_TRANSCEIVERS,
                         help="synthetic universe size (default 60000)")
-    parser.add_argument("--seed", type=int, default=20_190_722)
-    parser.add_argument("--whp-res", type=float, default=0.1,
+    parser.add_argument("--seed", type=int, default=_DEFAULT_SEED)
+    parser.add_argument("--whp-res", type=float,
+                        default=_DEFAULT_WHP_RES,
                         help="WHP grid resolution in degrees")
+    for opt in iter_global_options():
+        kwargs = {"type": opt.type, "default": opt.default}
+        if opt.help:
+            kwargs["help"] = opt.help
+        if opt.choices is not None:
+            kwargs["choices"] = opt.choices
+        parser.add_argument(opt.flag, **kwargs)
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for spatial joins "
                              "(default: $REPRO_WORKERS or 1 = serial)")
@@ -221,6 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _universe(args: argparse.Namespace) -> SyntheticUS:
+    scale = getattr(args, "scale", None)
+    if scale is not None:
+        preset = scale_config(scale)
+        if args.transceivers == _DEFAULT_TRANSCEIVERS:
+            args.transceivers = preset.n_transceivers
+        if args.seed == _DEFAULT_SEED:
+            args.seed = preset.seed
+        if args.whp_res == _DEFAULT_WHP_RES:
+            args.whp_res = preset.whp_resolution_deg
+        # args now carries the resolved values, so the ledger manifest
+        # records the universe that actually ran.
     return SyntheticUS(UniverseConfig(
         n_transceivers=args.transceivers,
         seed=args.seed,
@@ -303,7 +339,8 @@ def _finalize_ledger(args: argparse.Namespace, state: dict,
         config=_runtime_config_dict(),
         universe={"n_transceivers": args.transceivers,
                   "seed": args.seed,
-                  "whp_resolution_deg": args.whp_res},
+                  "whp_resolution_deg": args.whp_res,
+                  "scale": getattr(args, "scale", None)},
         timers=delta["timers"],
         timer_calls=delta["timer_calls"],
         counters=delta["counters"],

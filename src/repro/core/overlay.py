@@ -36,6 +36,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from ..data.cells import CellUniverse
+from ..data.packed import unpack_index
 from ..data.whp import WhpModel
 from ..data.wildfires import FirePerimeter
 from ..geo.index import UniformGridIndex
@@ -47,10 +48,12 @@ from ..runtime import (
     get_config,
     overlay_workers,
     run_tasks,
+    use_shared_memory,
 )
+from ..runtime import shm as _shm
 from ..obs.trace import span as trace_span
 from ..runtime.stats import STATS
-from ..session import artifact
+from ..session import StageOption, artifact, register_stage
 
 __all__ = ["FireOverlayResult", "overlay_fires", "overlay_fires_bruteforce",
            "classify_cells", "fires_token"]
@@ -130,15 +133,61 @@ def _init_overlay_worker(lons, lats, cell_deg) -> None:
                      "index": None}
 
 
+def _init_overlay_worker_shm(handle) -> None:
+    """Shared-memory initializer: store only the (tiny) handle.
+
+    The actual attach happens lazily on the first task: an initializer
+    that raises would put the pool into a silent respawn loop, whereas a
+    task failure propagates through ``pool.map`` into the runtime's
+    serial fallback.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = {"shm_handle": handle, "index": None}
+
+
+def _init_classify_worker_shm(handle, whp) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = {"shm_handle": handle, "whp": whp}
+
+
+def _worker_arrays() -> dict:
+    """The worker's zero-copy view dict, attaching on first use."""
+    state = _WORKER_STATE
+    arrays = state.get("arrays")
+    if arrays is None:
+        arrays = _shm.attach_arrays(state["shm_handle"])
+        state["arrays"] = arrays
+    return arrays
+
+
 def _worker_index() -> UniformGridIndex:
     state = _WORKER_STATE
     index = state["index"]
     if index is None:
-        index = UniformGridIndex(state["lons"], state["lats"],
-                                 state["cell_deg"])
+        if "shm_handle" in state:
+            # Adopt the parent's pre-built CSR index zero-copy: no
+            # coordinate hashing, no argsort, no bucket rebuild.
+            index = unpack_index(_worker_arrays())
+            STATS.count("pool.worker_index_attach")
+        else:
+            index = UniformGridIndex(state["lons"], state["lats"],
+                                     state["cell_deg"])
+            STATS.count("pool.worker_index_builds")
         state["index"] = index
-        STATS.count("pool.worker_index_builds")
     return index
+
+
+def _shared_handle(cells: CellUniverse):
+    """Shared-memory handle for the universe's pack, or ``None``.
+
+    ``None`` (segment creation failed, or the universe refuses to pack)
+    sends the caller down the classic initializer-pickle path.
+    """
+    try:
+        pack = cells.packed(_INDEX_CELL_DEG)
+    except ValueError:
+        return None
+    return _shm.share_arrays(pack.token, pack.arrays)
 
 
 def _overlay_fires_task(fires: list[FirePerimeter]):
@@ -170,10 +219,15 @@ def _init_classify_worker(lons, lats, whp) -> None:
 def _classify_task(span: tuple[int, int]):
     start, stop = span
     state = _WORKER_STATE
+    if "shm_handle" in state:
+        arrays = _worker_arrays()
+        lons, lats = arrays["lons"], arrays["lats"]
+    else:
+        lons, lats = state["lons"], state["lats"]
     before = STATS.snapshot()
     with trace_span("classify.chunk", start=start, stop=stop):
-        classes = state["whp"].classify(state["lons"][start:stop],
-                                        state["lats"][start:stop])
+        classes = state["whp"].classify(lons[start:stop],
+                                        lats[start:stop])
     return classes, STATS.delta_since(before)
 
 
@@ -258,11 +312,16 @@ def _overlay_parallel(cells: CellUniverse, fires: list[FirePerimeter],
                           (workers * _FIRE_SLICES_PER_WORKER)))
     spans = chunk_spans(len(fires), slice_size)
     tasks = [fires[lo:hi] for lo, hi in spans]
+    initializer, initargs = _init_overlay_worker, \
+        (cells.lons, cells.lats, _INDEX_CELL_DEG)
+    if use_shared_memory(len(cells)):
+        handle = _shared_handle(cells)
+        if handle is not None:
+            initializer, initargs = _init_overlay_worker_shm, (handle,)
     results = run_tasks(
         "overlay", workers, cells.content_token(),
         _overlay_fires_task, tasks,
-        initializer=_init_overlay_worker,
-        initargs=(cells.lons, cells.lats, _INDEX_CELL_DEG))
+        initializer=initializer, initargs=initargs)
     if results is None:
         return _overlay_serial(cells, fires, year)
 
@@ -335,10 +394,16 @@ def classify_cells(cells: CellUniverse, whp: WhpModel, *,
             if eff_workers > 1:
                 spans = chunk_spans(len(cells), chunk_size)
                 token = cells.content_token() + whp.content_token()
+                initializer, initargs = _init_classify_worker, \
+                    (cells.lons, cells.lats, whp)
+                if use_shared_memory(len(cells)):
+                    handle = _shared_handle(cells)
+                    if handle is not None:
+                        initializer, initargs = \
+                            _init_classify_worker_shm, (handle, whp)
                 results = run_tasks(
                     "classify", eff_workers, token, _classify_task,
-                    spans, initializer=_init_classify_worker,
-                    initargs=(cells.lons, cells.lats, whp))
+                    spans, initializer=initializer, initargs=initargs)
                 if results is not None:
                     for _, delta in results:
                         STATS.merge(delta)
@@ -374,6 +439,17 @@ def _season_overlay_artifact(session, year: int = 2019) \
     universe = session.universe
     return overlay_fires(universe.cells, universe.fire_season(year).fires,
                          year=year)
+
+
+# Direct CLI surface for the raw perimeter join (the paper-scale smoke
+# job drives it standalone).  ``order=None`` keeps it out of
+# ``repro all`` — the historical sweep already covers every season.
+register_stage("season_overlay",
+               help="one season's raw perimeter join",
+               paper="§2.3", artifact="season_overlay",
+               render="render_season_overlay", order=None,
+               options=(StageOption("--year", type=int, default=2019),),
+               params=("year",))
 
 
 # ----------------------------------------------------------------------

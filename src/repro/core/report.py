@@ -348,6 +348,20 @@ def render_table3(rows: list[TechnologyRisk]) -> str:
         body)
 
 
+def render_season_overlay(result) -> str:
+    """One season's raw transceiver × perimeter join (§2.3)."""
+    total = len(result.in_perimeter_mask)
+    n = result.n_in_perimeter
+    pct = 100.0 * n / max(total, 1)
+    top = sorted(result.per_fire_counts.items(),
+                 key=lambda kv: (-kv[1], kv[0]))[:5]
+    table = format_table(["Fire", "Tx inside"],
+                         [[name, f"{count:,}"] for name, count in top])
+    return (f"{result.year}: {result.n_fires:,} fires, {n:,} of "
+            f"{total:,} transceivers in perimeters ({pct:.4f}%)\n"
+            + table)
+
+
 def render_figure5(summary: CaseStudySummary) -> str:
     """Figure 5 series: daily outages by cause."""
     body = []

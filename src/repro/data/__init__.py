@@ -58,11 +58,21 @@ from .states import (
     conus_bbox,
     conus_states,
 )
+from .packed import (
+    PACK_DTYPES,
+    PackedCells,
+    pack_cells,
+    unpack_cells,
+    unpack_index,
+)
 from .universe import (
+    SCALE_PRESETS,
     SyntheticUS,
     UniverseConfig,
     default_universe,
+    scale_config,
     small_universe,
+    universe_for_scale,
 )
 from .whp import (
     AT_RISK_CLASSES,
@@ -100,7 +110,10 @@ __all__ = [
     "RadioType", "RADIO_NAMES", "technology_mix", "draw_radio_types",
     "State", "StateAssigner", "conus_states", "conus_bbox",
     "WESTERN_STATES", "SOUTHEASTERN_STATES",
+    "PackedCells", "PACK_DTYPES", "pack_cells", "unpack_cells",
+    "unpack_index",
     "SyntheticUS", "UniverseConfig", "default_universe", "small_universe",
+    "SCALE_PRESETS", "scale_config", "universe_for_scale",
     "WhpModel", "WHPClass", "WHP_CLASS_NAMES", "build_whp",
     "AT_RISK_CLASSES",
     "FirePerimeter", "FireSeason", "generate_fire_season",

@@ -60,6 +60,7 @@ class CellUniverse:
     radio: np.ndarray         # int8 RadioType code
     _index: UniformGridIndex | None = field(default=None, repr=False)
     _token: bytes | None = field(default=None, repr=False)
+    _packed: object | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.lons)
@@ -97,6 +98,38 @@ class CellUniverse:
                 h.update(np.ascontiguousarray(arr).tobytes())
             self._token = h.digest()
         return self._token
+
+    def packed(self, cell_deg: float = 0.25):
+        """Contiguous column pack of this universe (built lazily, cached).
+
+        The pack bundles every column plus the serialized spatial index
+        at pinned dtypes, ready to copy into a shared-memory segment so
+        pool workers adopt state instead of rebuilding it.
+        """
+        from .packed import pack_cells
+
+        if self._packed is None or self._packed.cell_deg != cell_deg:
+            self._packed = pack_cells(self, cell_deg)
+        return self._packed
+
+    def stratified_sample(self, fraction: float) -> "CellUniverse":
+        """Deterministic stratified subsample of the universe.
+
+        Strata are (provider_group, radio) pairs; within each stratum
+        every ``round(1/fraction)``-th transceiver (in storage order) is
+        kept.  No RNG involved: the same universe and fraction always
+        select the same rows, which is what the scale-stratified
+        differential tests key on.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        step = max(1, int(round(1.0 / fraction)))
+        strata = (self.provider_group.astype(np.int64) * 64
+                  + self.radio.astype(np.int64))
+        picks = [np.flatnonzero(strata == s)[::step]
+                 for s in np.unique(strata)]
+        idx = np.sort(np.concatenate(picks))
+        return self.subset(idx)
 
     def group_names(self) -> np.ndarray:
         """Provider group name per transceiver."""

@@ -1,0 +1,120 @@
+"""Contiguous column packs for zero-copy worker sharing.
+
+A :class:`PackedCells` is the flat-array image of a
+:class:`~repro.data.cells.CellUniverse` plus its spatial index: every
+column re-laid as one contiguous numpy array at a pinned dtype, suitable
+for copying into a ``multiprocessing.shared_memory`` segment and
+re-adopting on the worker side without pickling or rebuilding.
+
+Dtype ledger
+------------
+``PACK_DTYPES`` pins the on-segment dtype of every column.  Coordinates
+stay **float64**: the point-in-polygon kernel compares raw coordinate
+values, and a float32 round-trip would perturb points near polygon
+edges — the pack must be bit-identical on unpack, so narrowing the
+coordinate columns is explicitly rejected.  Integer columns narrow where
+the value range provably allows it (``site_ids`` drops to int32 only
+when its max fits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo.index import UniformGridIndex
+
+__all__ = ["PackedCells", "PACK_DTYPES", "pack_cells", "unpack_cells",
+           "unpack_index"]
+
+#: Pinned on-segment dtype per column (site_ids adapts, see pack_cells).
+PACK_DTYPES = {
+    "lons": np.float64,
+    "lats": np.float64,
+    "mcc": np.int32,
+    "mnc": np.int32,
+    "provider_group": np.int8,
+    "radio": np.int8,
+}
+
+#: Pack keys carrying the serialized spatial index (UniformGridIndex
+#: .to_arrays() payload) rather than a universe column.
+INDEX_PREFIX = "index."
+
+
+@dataclass(frozen=True)
+class PackedCells:
+    """Flat-array image of a universe and its index.
+
+    ``arrays`` maps column name -> contiguous ndarray; index arrays are
+    stored under the ``index.`` prefix.  ``token`` is the source
+    universe's content token, used to key shared-memory segments and
+    warm pools.
+    """
+
+    arrays: dict[str, np.ndarray] = field(repr=False)
+    cell_deg: float
+    token: bytes
+
+    def __len__(self) -> int:
+        return len(self.arrays["lons"])
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values())
+
+
+def pack_cells(cells, cell_deg: float = 0.25) -> PackedCells:
+    """Pack a universe (and its index) into contiguous pinned arrays."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, dtype in PACK_DTYPES.items():
+        col = getattr(cells, name)
+        packed = np.ascontiguousarray(col, dtype=dtype)
+        if not np.array_equal(packed, col):
+            raise ValueError(f"column {name} not lossless at "
+                             f"{np.dtype(dtype).name}")
+        arrays[name] = packed
+    sids = cells.site_ids
+    if len(sids) and (sids.min() < np.iinfo(np.int32).min
+                      or sids.max() > np.iinfo(np.int32).max):
+        arrays["site_ids"] = np.ascontiguousarray(sids, dtype=np.int64)
+    else:
+        arrays["site_ids"] = np.ascontiguousarray(sids, dtype=np.int32)
+    for name, arr in cells.index(cell_deg).to_arrays().items():
+        arrays[INDEX_PREFIX + name] = arr
+    return PackedCells(arrays=arrays, cell_deg=cell_deg,
+                       token=cells.content_token())
+
+
+def unpack_cells(packed: PackedCells | dict[str, np.ndarray]):
+    """Rebuild a :class:`CellUniverse` from a pack (or raw array dict).
+
+    The reconstructed universe adopts the pack's coordinate arrays
+    as-is (they may be shared-memory views) and restores ``site_ids``
+    to its canonical int64.
+    """
+    from .cells import CellUniverse
+
+    arrays = packed.arrays if isinstance(packed, PackedCells) else packed
+    return CellUniverse(
+        lons=arrays["lons"],
+        lats=arrays["lats"],
+        site_ids=arrays["site_ids"].astype(np.int64, copy=False),
+        mcc=arrays["mcc"],
+        mnc=arrays["mnc"],
+        provider_group=arrays["provider_group"],
+        radio=arrays["radio"],
+    )
+
+
+def unpack_index(packed: PackedCells | dict[str, np.ndarray]) \
+        -> UniformGridIndex:
+    """Adopt the pack's serialized spatial index without rebuilding."""
+    arrays = packed.arrays if isinstance(packed, PackedCells) else packed
+    index_arrays = {name[len(INDEX_PREFIX):]: arr
+                    for name, arr in arrays.items()
+                    if name.startswith(INDEX_PREFIX)}
+    if not index_arrays:
+        raise ValueError("pack carries no index arrays")
+    return UniformGridIndex.from_arrays(index_arrays)

@@ -118,7 +118,19 @@ class WhpModel:
         big perimeters concentrate in remote wildland (the reason only
         hundreds — not tens of thousands — of transceivers fall inside
         perimeters each year despite millions of acres burning).
+
+        Memoized per (model, remoteness): the gaussian smoothing pass
+        dominates fire-season generation at paper scale, and every year's
+        season asks for the identical field.  Callers treat the result
+        as read-only.
         """
+        cache = getattr(self, "_ignition_cache", None)
+        if cache is None:
+            cache = self._ignition_cache = {}
+        key = float(remoteness)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         table = np.array([0.0, 0.05, 0.25, 1.0, 2.0, 4.0])
         hazard = table[self.raster.data.astype(np.int64)]
         # Smooth the placement weight so the penalty sees the whole
@@ -129,7 +141,8 @@ class WhpModel:
         positive = weight[weight > 0]
         w0 = np.percentile(positive, 25) if len(positive) else 1.0
         penalty = 1.0 / (1.0 + remoteness * (weight / max(w0, 1e-9)))
-        return hazard * penalty
+        cache[key] = hazard * penalty
+        return cache[key]
 
 
 def build_whp(pop: PopulationSurface, seed: int = 7,

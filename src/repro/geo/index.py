@@ -61,6 +61,8 @@ class UniformGridIndex:
             self._ncols = 0
             self._nrows = 0
             self.bbox = None
+            self._slons = self.lons
+            self._slats = self.lats
             return
         self.bbox = BBox.of_coords(self.lons, self.lats)
         self._ncols = max(1, int(np.ceil(self.bbox.width / cell_deg)) + 1)
@@ -75,9 +77,66 @@ class UniformGridIndex:
         uniq, starts = np.unique(sorted_keys, return_index=True)
         self._uniq_keys = uniq
         self._bucket_ptr = np.append(starts, n).astype(np.int64)
+        # Coordinates in bucket-sorted order: a candidate run is then a
+        # contiguous memcpy of these instead of a scattered gather over
+        # the original (universe-ordered) arrays.
+        self._slons = self.lons[self._order]
+        self._slats = self.lats[self._order]
 
     def __len__(self) -> int:
         return len(self.lons)
+
+    # ------------------------------------------------------------------
+    # Flat-array snapshot: everything a worker needs to reconstruct the
+    # built index without re-sorting, suitable for zero-copy transport
+    # through multiprocessing.shared_memory (see repro.runtime.shm).
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array snapshot of the built index structure.
+
+        Returns a dict of contiguous numpy arrays (plus a small float
+        ``meta`` header) from which :meth:`from_arrays` reconstructs the
+        index without paying the build-time argsort.
+        """
+        if self.bbox is None:
+            raise ValueError("cannot snapshot an empty index")
+        meta = np.array([self.cell_deg, self._ncols, self._nrows,
+                         self.bbox.min_lon, self.bbox.min_lat,
+                         self.bbox.max_lon, self.bbox.max_lat],
+                        dtype=np.float64)
+        return {
+            "meta": meta,
+            "lons": self.lons, "lats": self.lats,
+            "order": self._order, "uniq_keys": self._uniq_keys,
+            "bucket_ptr": self._bucket_ptr,
+            "slons": self._slons, "slats": self._slats,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) \
+            -> "UniformGridIndex":
+        """Rebuild an index from a :meth:`to_arrays` snapshot.
+
+        The arrays are adopted as-is (they may be views into a shared
+        memory segment); queries on the rebuilt index are bit-identical
+        to queries on the original.
+        """
+        self = cls.__new__(cls)
+        meta = np.asarray(arrays["meta"], dtype=np.float64)
+        self.cell_deg = float(meta[0])
+        self._ncols = int(meta[1])
+        self._nrows = int(meta[2])
+        self.bbox = BBox(float(meta[3]), float(meta[4]),
+                         float(meta[5]), float(meta[6]))
+        self.lons = arrays["lons"]
+        self.lats = arrays["lats"]
+        self._order = arrays["order"]
+        self._uniq_keys = arrays["uniq_keys"]
+        self._bucket_ptr = arrays["bucket_ptr"]
+        self._slons = arrays["slons"]
+        self._slats = arrays["slats"]
+        return self
 
     def _bucket_range(self, bbox: BBox):
         """(c0, c1, r0, r1) bucket window, clamped to the grid extent."""
@@ -88,14 +147,18 @@ class UniformGridIndex:
         return (max(c0, 0), min(c1, self._ncols - 1),
                 max(r0, 0), min(r1, self._nrows - 1))
 
-    def query_bbox(self, bbox: BBox) -> np.ndarray:
-        """Indices of points inside ``bbox``."""
-        STATS.count("index.bbox_queries")
+    def _candidate_runs(self, bbox: BBox):
+        """``(starts, ends)`` CSR runs of candidate positions, or None.
+
+        Each ``[starts[i], ends[i])`` is one contiguous run of the
+        bucket-sorted order covering the candidate buckets of one grid
+        row inside ``bbox``.
+        """
         if self.bbox is None or not self.bbox.intersects(bbox):
-            return np.empty(0, dtype=np.int64)
+            return None
         c0, c1, r0, r1 = self._bucket_range(bbox)
         if c1 < c0 or r1 < r0:
-            return np.empty(0, dtype=np.int64)
+            return None
         # Buckets [base + c0, base + c1] of one row are consecutive keys,
         # hence one contiguous slice of the sorted order.
         bases = np.arange(r0, r1 + 1, dtype=np.int64) * self._ncols
@@ -105,22 +168,56 @@ class UniformGridIndex:
         ends = self._bucket_ptr[hi]
         occupied = starts < ends
         if not occupied.any():
-            return np.empty(0, dtype=np.int64)
-        slices = [self._order[s:e]
-                  for s, e in zip(starts[occupied], ends[occupied])]
-        cand = slices[0] if len(slices) == 1 else np.concatenate(slices)
-        keep = bbox.contains_many(self.lons[cand], self.lats[cand])
+            return None
+        return starts[occupied], ends[occupied]
+
+    @staticmethod
+    def _gather_runs(arr: np.ndarray, starts, ends) -> np.ndarray:
+        """Concatenate ``arr[s:e]`` for each CSR run (contiguous copies)."""
+        runs = [arr[s:e] for s, e in zip(starts.tolist(), ends.tolist())]
+        return runs[0] if len(runs) == 1 else np.concatenate(runs)
+
+    def _bbox_filtered(self, bbox: BBox, starts, ends):
+        """``(indices, lons, lats)`` of run candidates inside ``bbox``.
+
+        Candidate coordinates come straight out of the presorted CSR
+        runs (contiguous slices, no scattered gather); the value stream
+        and the ``index.candidates`` / ``index.hits`` counters are
+        identical to the historical per-candidate gather.
+        """
+        clons = self._gather_runs(self._slons, starts, ends)
+        clats = self._gather_runs(self._slats, starts, ends)
+        keep = bbox.contains_many(clons, clats)
+        cand = self._gather_runs(self._order, starts, ends)
         out = cand[keep]
         STATS.count("index.candidates", len(cand))
         STATS.count("index.hits", len(out))
+        return out, clons[keep], clats[keep]
+
+    def query_bbox(self, bbox: BBox) -> np.ndarray:
+        """Indices of points inside ``bbox``."""
+        STATS.count("index.bbox_queries")
+        runs = self._candidate_runs(bbox)
+        if runs is None:
+            return np.empty(0, dtype=np.int64)
+        out, _, _ = self._bbox_filtered(bbox, *runs)
         return out
 
     def query_polygon(self, polygon: Polygon | MultiPolygon) -> np.ndarray:
-        """Indices of points inside the polygon (exact, holes respected)."""
-        cand = self.query_bbox(polygon.bbox)
+        """Indices of points inside the polygon (exact, holes respected).
+
+        The batch point-in-polygon kernel runs directly over the CSR
+        candidate coordinates retained by the bbox filter — the original
+        point arrays are never re-gathered.
+        """
+        STATS.count("index.bbox_queries")
+        runs = self._candidate_runs(polygon.bbox)
+        if runs is None:
+            return np.empty(0, dtype=np.int64)
+        cand, clons, clats = self._bbox_filtered(polygon.bbox, *runs)
         if len(cand) == 0:
             return cand
-        keep = polygon.contains_many(self.lons[cand], self.lats[cand])
+        keep = polygon.contains_many(clons, clats)
         out = cand[keep]
         STATS.count("index.polygon_queries")
         STATS.count("index.pip_tests", len(cand))

@@ -26,6 +26,12 @@ from .projection import meters_per_degree, sqmeters_to_acres
 
 __all__ = ["GridSpec", "Raster", "rasterize_polygon", "disk_footprint"]
 
+# Point-sampling tile size.  Bounding the per-tile working set keeps the
+# row/col/mask temporaries (5 int64/bool arrays per tile) out of the
+# multi-hundred-MB range at paper scale; each element is processed by the
+# exact same arithmetic regardless of tile boundaries.
+SAMPLE_TILE_POINTS = 1 << 20
+
 
 @dataclass(frozen=True)
 class GridSpec:
@@ -135,12 +141,21 @@ class Raster:
         scalar = lons.ndim == 0
         lons = np.atleast_1d(lons)
         lats = np.atleast_1d(np.asarray(lats, dtype=float))
-        rows, cols = self.grid.rowcol(lons, lats)
-        ok = self.grid.inside(rows, cols)
         if outside is None:
             outside = np.zeros(1, dtype=self.data.dtype)[0]
         out = np.full(lons.shape, outside, dtype=self.data.dtype)
-        out[ok] = self.data[rows[ok], cols[ok]]
+        flat_lons = lons.reshape(-1)
+        flat_lats = lats.reshape(-1)
+        flat_out = out.reshape(-1)
+        n = flat_lons.size
+        for t0 in range(0, n, SAMPLE_TILE_POINTS):
+            t1 = min(n, t0 + SAMPLE_TILE_POINTS)
+            rows, cols = self.grid.rowcol(flat_lons[t0:t1],
+                                          flat_lats[t0:t1])
+            ok = self.grid.inside(rows, cols)
+            tile = flat_out[t0:t1]
+            tile[ok] = self.data[rows[ok], cols[ok]]
+            STATS.count("raster.tiles")
         STATS.count("raster.samples", lons.size)
         if scalar:
             return out[0]

@@ -32,9 +32,22 @@ from .config import (
     get_config,
     set_config,
 )
-from .dispatch import classify_workers, cpu_budget, overlay_workers
+from .dispatch import (
+    classify_workers,
+    cpu_budget,
+    overlay_workers,
+    use_shared_memory,
+)
 from .parallel import chunk_spans, parallel_map
 from .pool import active_pools, get_pool, run_tasks, shutdown_pools
+from .shm import (
+    ShmField,
+    ShmHandle,
+    active_segments,
+    attach_arrays,
+    release_segments,
+    share_arrays,
+)
 from .stats import STATS, PerfRegistry, set_trace_channel, trace_channel
 
 __all__ = [
@@ -44,5 +57,8 @@ __all__ = [
     "chunk_spans", "parallel_map",
     "active_pools", "get_pool", "run_tasks", "shutdown_pools",
     "cpu_budget", "overlay_workers", "classify_workers",
+    "use_shared_memory",
+    "ShmField", "ShmHandle", "share_arrays", "attach_arrays",
+    "release_segments", "active_segments",
     "STATS", "PerfRegistry", "set_trace_channel", "trace_channel",
 ]

@@ -63,6 +63,7 @@ class RuntimeConfig:
     cache_enabled: bool = True  # memoize join results
     cache_dir: Path | None = None   # None -> memory-only cache
     memory_cache_entries: int = 128
+    shm_enabled: bool = True    # zero-copy worker state via shared memory
 
     def __post_init__(self):
         if self.chunk_size <= 0:
@@ -87,6 +88,7 @@ class RuntimeConfig:
             chunk_size=_env_int("REPRO_CHUNK", 65_536),
             cache_enabled=_env_flag("REPRO_CACHE", True),
             cache_dir=Path(cache_dir) if cache_dir else None,
+            shm_enabled=_env_flag("REPRO_SHM", True),
         )
 
 

@@ -37,9 +37,11 @@ __all__ = [
     "CLASSIFY_WORK_FACTOR",
     "MIN_PARALLEL_FIRES",
     "CPU_COUNT_OVERRIDE",
+    "SHM_MIN_POINTS",
     "cpu_budget",
     "overlay_workers",
     "classify_workers",
+    "use_shared_memory",
 ]
 
 #: A fork pays off for the perimeter overlay once ``points × fires``
@@ -60,6 +62,11 @@ MIN_PARALLEL_FIRES = 2
 #: Test hook / deployment override for the visible core count.
 #: ``None`` means trust ``os.cpu_count()``.
 CPU_COUNT_OVERRIDE: int | None = None
+
+#: Below this many points, packing columns into a shared-memory segment
+#: costs more than the initializer pickle it replaces; workers then get
+#: the dataset the classic way.
+SHM_MIN_POINTS = 65_536
 
 
 def cpu_budget() -> int:
@@ -95,3 +102,10 @@ def classify_workers(requested: int, n_points: int,
         return 1
     n_chunks = -(-n_points // chunk_size)
     return max(1, min(requested, cpu_budget(), n_chunks))
+
+
+def use_shared_memory(n_points: int) -> bool:
+    """Whether a parallel join should ship state via shared memory."""
+    if not _config.get_config().shm_enabled:
+        return False
+    return n_points >= SHM_MIN_POINTS

@@ -38,9 +38,14 @@ def chunk_spans(n: int, chunk_size: int) -> list[tuple[int, int]]:
 
 def _pool_context():
     """Prefer ``fork`` (cheap, copy-on-write arrays); fall back to the
-    platform default where fork is unavailable."""
+    platform default where fork is unavailable.  Honors the persistent
+    pool layer's start-method override so tests exercising spawn cover
+    the one-shot path too."""
+    from . import pool as _pool
+
+    method = _pool.START_METHOD_OVERRIDE or "fork"
     try:
-        return multiprocessing.get_context("fork")
+        return multiprocessing.get_context(method)
     except ValueError:
         return multiprocessing.get_context()
 

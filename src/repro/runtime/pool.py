@@ -39,6 +39,12 @@ __all__ = ["get_pool", "run_tasks", "shutdown_pools", "active_pools"]
 #: ``workers`` processes alive; a handful covers a whole reproduction.
 MAX_POOLS = 4
 
+#: Force a specific multiprocessing start method ("fork" / "spawn" /
+#: "forkserver").  ``None`` keeps the fork-preferred default.  The
+#: override participates in the pool key, so flipping it mid-session
+#: creates fresh pools instead of reusing ones started the other way.
+START_METHOD_OVERRIDE: str | None = None
+
 #: Errors that mean "the pool path is unavailable", not "the task is
 #: wrong".  Anything else propagates — a bug in a chunk function must
 #: not be silently retried serially.
@@ -51,8 +57,9 @@ _pools: OrderedDict[tuple, multiprocessing.pool.Pool] = OrderedDict()
 def _pool_context():
     """Prefer ``fork`` (cheap, copy-on-write arrays); fall back to the
     platform default where fork is unavailable."""
+    method = START_METHOD_OVERRIDE or "fork"
     try:
-        return multiprocessing.get_context("fork")
+        return multiprocessing.get_context(method)
     except ValueError:
         return multiprocessing.get_context()
 
@@ -70,7 +77,7 @@ def get_pool(name: str, workers: int, token: bytes,
              initargs: tuple = ()):
     """Return a live pool for ``(name, workers, token)``, creating it
     lazily.  Raises on creation failure (callers catch and fall back)."""
-    key = (name, workers, token)
+    key = (name, workers, token, START_METHOD_OVERRIDE)
     pool = _pools.get(key)
     if pool is not None:
         _pools.move_to_end(key)
@@ -94,7 +101,7 @@ def get_pool(name: str, workers: int, token: bytes,
 
 def discard_pool(name: str, workers: int, token: bytes) -> None:
     """Terminate and forget a pool (e.g. after a failed map)."""
-    pool = _pools.pop((name, workers, token), None)
+    pool = _pools.pop((name, workers, token, START_METHOD_OVERRIDE), None)
     if pool is not None:
         _terminate(pool)
 

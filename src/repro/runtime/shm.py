@@ -1,0 +1,206 @@
+"""Zero-copy array sharing via ``multiprocessing.shared_memory``.
+
+Persistent pools (:mod:`.pool`) stopped re-forking workers per join, but
+workers still paid twice per dataset: the packed columns ship through
+the initializer pickle, and every worker rebuilds its spatial index from
+the raw coordinates.  This module removes both costs.  The parent packs
+the dataset once into a single shared-memory segment; workers *attach*
+to the segment by name and adopt the arrays (including the pre-built
+CSR index) as zero-copy views.  ``pool.worker_index_builds`` drops to 0
+after warmup — the contract the regression tier pins.
+
+Lifecycle
+---------
+* ``share_arrays(token, arrays)`` — parent-side.  Creates (or returns
+  the cached) segment for a content token, copies each array to a
+  64-byte-aligned offset, and returns a picklable :class:`ShmHandle`
+  describing the layout.  Returns ``None`` when shared memory is
+  unavailable (``/dev/shm`` missing, permissions, exotic platforms);
+  callers then fall back to initializer pickles.
+* ``attach_arrays(handle)`` — worker-side.  Opens the segment by name
+  and rebuilds the array views.  The attachment is cached per segment.
+  Pool workers (fork *and* spawn) inherit the parent's resource
+  tracker, so their attach-register is an idempotent no-op there; only
+  an attacher with no inherited tracker withdraws its registration,
+  lest its private tracker unlink the parent's segment on exit.
+* ``release_segments()`` — parent-side (atexit).  Closes and unlinks
+  every owned segment.  Only the creating *process* unlinks: forked
+  children inherit the registry, and a child's atexit must close its
+  mapping without destroying the parent's.
+
+A small LRU bounds resident segments, mirroring the pool registry.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .stats import STATS
+
+__all__ = ["ShmField", "ShmHandle", "share_arrays", "attach_arrays",
+           "release_segments", "active_segments"]
+
+#: Resident segment cap (one segment per packed dataset).
+MAX_SEGMENTS = 4
+
+#: Field offsets are rounded up to this alignment so every array view
+#: starts on a cache-line boundary regardless of the preceding dtype.
+ALIGNMENT = 64
+
+
+@dataclass(frozen=True)
+class ShmField:
+    """Layout of one array inside a segment (picklable)."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Everything a worker needs to adopt a segment's arrays."""
+
+    shm_name: str
+    fields: tuple[ShmField, ...]
+    nbytes: int
+
+
+def _align(offset: int) -> int:
+    return -(-offset // ALIGNMENT) * ALIGNMENT
+
+
+# token -> (segment, handle, owner_pid); insertion order is LRU order.
+_owned: OrderedDict[bytes, tuple] = OrderedDict()
+
+# shm_name -> (segment, {field name -> array view}); worker-side cache.
+_attached: dict[str, tuple] = {}
+
+
+def share_arrays(token: bytes, arrays: dict[str, np.ndarray]) \
+        -> ShmHandle | None:
+    """Expose ``arrays`` in one shared segment keyed by ``token``.
+
+    Returns the (cached) handle, or ``None`` when shared memory is
+    unavailable on this platform — never raises for environmental
+    failures.
+    """
+    entry = _owned.get(token)
+    if entry is not None:
+        _owned.move_to_end(token)
+        STATS.count("shm.reused")
+        return entry[1]
+
+    fields = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        offset = _align(offset)
+        fields.append(ShmField(name=name, dtype=arr.dtype.str,
+                               shape=arr.shape, offset=offset))
+        offset += arr.nbytes
+    nbytes = max(offset, 1)
+
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    except (OSError, ValueError):
+        STATS.count("shm.failures")
+        return None
+    try:
+        for field, (_, arr) in zip(fields, arrays.items()):
+            view = np.ndarray(field.shape, dtype=field.dtype,
+                              buffer=seg.buf, offset=field.offset)
+            view[...] = arr
+    except (OSError, ValueError):
+        _destroy(seg, unlink=True)
+        STATS.count("shm.failures")
+        return None
+
+    while len(_owned) >= MAX_SEGMENTS:
+        _, (old_seg, _, owner) = _owned.popitem(last=False)
+        _destroy(old_seg, unlink=owner == os.getpid())
+        STATS.count("shm.evicted")
+
+    handle = ShmHandle(shm_name=seg.name, fields=tuple(fields),
+                       nbytes=nbytes)
+    _owned[token] = (seg, handle, os.getpid())
+    STATS.count("shm.created")
+    STATS.count("shm.bytes", nbytes)
+    return handle
+
+
+def attach_arrays(handle: ShmHandle) -> dict[str, np.ndarray]:
+    """Adopt a segment's arrays as zero-copy views (worker-side).
+
+    Raises on failure (a missing segment is a real error the pool layer
+    converts into its serial fallback).
+    """
+    cached = _attached.get(handle.shm_name)
+    if cached is not None:
+        return cached[1]
+    # Attaching registers the name with this process's resource
+    # tracker (Python < 3.13 has no track=False).  Pool workers — fork
+    # AND spawn: ``spawn_main`` hands children the parent's tracker fd
+    # — share the owner's tracker daemon, where the registry is a set:
+    # their attach-register is an idempotent no-op, and the owner's
+    # eventual ``unlink`` withdraws the single entry.  Unregistering
+    # here would strip that entry and turn the owner's unlink into a
+    # tracker KeyError.  Only a process with no inherited tracker
+    # connection (a standalone attacher) spins up its *own* tracker on
+    # attach, which would unlink the segment out from under the owner
+    # when the attacher exits — that registration must be withdrawn.
+    from multiprocessing import resource_tracker
+    shares_tracker = getattr(
+        resource_tracker._resource_tracker, "_fd", None) is not None
+    seg = shared_memory.SharedMemory(name=handle.shm_name)
+    if not shares_tracker:
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    arrays = {
+        field.name: np.ndarray(field.shape, dtype=field.dtype,
+                               buffer=seg.buf, offset=field.offset)
+        for field in handle.fields
+    }
+    _attached[handle.shm_name] = (seg, arrays)
+    STATS.count("shm.attached")
+    return arrays
+
+
+def _destroy(seg, unlink: bool) -> None:
+    try:
+        seg.close()
+    except Exception:
+        pass
+    if unlink:
+        try:
+            seg.unlink()
+        except Exception:
+            pass
+
+
+def active_segments() -> list[str]:
+    """Names of currently owned segments (diagnostics / tests)."""
+    return [entry[1].shm_name for entry in _owned.values()]
+
+
+def release_segments() -> None:
+    """Close every mapping; unlink segments this process created."""
+    pid = os.getpid()
+    while _owned:
+        _, (seg, _, owner) = _owned.popitem(last=False)
+        _destroy(seg, unlink=owner == pid)
+    while _attached:
+        _, (seg, _) = _attached.popitem()
+        _destroy(seg, unlink=False)
+
+
+atexit.register(release_segments)

@@ -1,0 +1,207 @@
+"""Shared-memory fast path: attach-not-rebuild, counters, lifecycle.
+
+The zero-copy contract of PR 6: once a universe is packed into a
+shared segment, pool workers *attach* to the parent's arrays and adopt
+the pre-built CSR index — ``pool.worker_index_builds`` stays 0 for the
+life of the warm pool, under both ``fork`` and ``spawn`` start methods.
+The tiled raster sampler rides along here because its invariant is the
+same shape: a pure execution-strategy change whose counters must stay
+in exact agreement with the untiled path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.overlay import classify_cells, overlay_fires
+from repro.geo import raster as raster_mod
+from repro.runtime import STATS, configure, get_config, shutdown_pools
+from repro.runtime import config as runtime_config
+from repro.runtime import dispatch as runtime_dispatch
+from repro.runtime import pool as runtime_pool
+from repro.runtime import shm as runtime_shm
+
+from .test_differential import assert_identical, random_fires, random_universe
+
+
+@pytest.fixture(autouse=True)
+def _shm_floor(monkeypatch):
+    """Small universes must reach the pool *and* the shm path."""
+    monkeypatch.setattr(runtime_config, "MIN_PARALLEL_POINTS", 64)
+    monkeypatch.setattr(runtime_dispatch, "OVERLAY_WORK_FACTOR", 1)
+    monkeypatch.setattr(runtime_dispatch, "CLASSIFY_WORK_FACTOR", 1)
+    monkeypatch.setattr(runtime_dispatch, "CPU_COUNT_OVERRIDE", 8)
+    monkeypatch.setattr(runtime_dispatch, "SHM_MIN_POINTS", 0)
+    yield
+    shutdown_pools()
+    runtime_shm.release_segments()
+
+
+def _overlay_counters(before) -> dict[str, int]:
+    return STATS.delta_since(before)["counters"]
+
+
+# ----------------------------------------------------------------------
+# The headline regression: zero index builds through a warm pool.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_warm_pool_attaches_instead_of_building(start_method, monkeypatch):
+    monkeypatch.setattr(runtime_pool, "START_METHOD_OVERRIDE", start_method)
+    cells = random_universe(21, 3_000)
+
+    before = STATS.snapshot()
+    first = overlay_fires(cells, random_fires(21, 6), year=2018,
+                          workers=4, use_cache=False)
+    cold = _overlay_counters(before)
+    if cold.get("parallel.fallbacks", 0):
+        pytest.skip(f"pool path unavailable under {start_method}")
+
+    # Even the *cold* join never rebuilds: workers adopt the packed index.
+    assert cold.get("pool.worker_index_builds", 0) == 0
+    assert cold.get("pool.worker_index_attach", 0) >= 1
+    assert cold.get("shm.created", 0) == 1
+
+    before = STATS.snapshot()
+    second = overlay_fires(cells, random_fires(22, 6), year=2018,
+                           workers=4, use_cache=False)
+    warm = _overlay_counters(before)
+    if warm.get("parallel.fallbacks", 0):
+        pytest.skip(f"pool path unavailable under {start_method}")
+
+    # Warm join: pool reused, segment reused, no builds, no new
+    # segments.  A worker idle during the cold join may receive its
+    # first task here and do its lazy one-time attach then, so total
+    # attaches are bounded by the worker count rather than pinned to 0.
+    assert warm.get("pool.reused", 0) >= 1
+    assert warm.get("pool.created", 0) == 0
+    assert warm.get("pool.worker_index_builds", 0) == 0
+    assert (cold.get("pool.worker_index_attach", 0)
+            + warm.get("pool.worker_index_attach", 0)) <= 4
+    assert warm.get("shm.created", 0) == 0
+    assert warm.get("shm.reused", 0) == 1
+
+    # And the shm path is still bit-identical to serial.
+    serial = overlay_fires(cells, random_fires(22, 6), year=2018,
+                           workers=1, use_cache=False)
+    assert_identical(second, serial)
+    assert first.n_in_perimeter > 0
+
+
+def test_shm_disabled_falls_back_to_worker_builds():
+    """With shm off, the legacy initializer-pickle path still works —
+    and is visible as worker-side index builds."""
+    previous = get_config()
+    configure(shm_enabled=False)
+    try:
+        cells = random_universe(23, 3_000)
+        before = STATS.snapshot()
+        result = overlay_fires(cells, random_fires(23, 6), year=2018,
+                               workers=4, use_cache=False)
+        counters = _overlay_counters(before)
+        if counters.get("parallel.fallbacks", 0):
+            pytest.skip("pool path unavailable")
+        assert counters.get("pool.worker_index_builds", 0) >= 1
+        assert counters.get("pool.worker_index_attach", 0) == 0
+        assert counters.get("shm.created", 0) == 0
+        serial = overlay_fires(cells, random_fires(23, 6), year=2018,
+                               workers=1, use_cache=False)
+        assert_identical(result, serial)
+    finally:
+        from repro.runtime import set_config
+        set_config(previous)
+
+
+def test_classify_through_shm_matches_serial(universe):
+    cells = universe.cells
+    before = STATS.snapshot()
+    got = classify_cells(cells, universe.whp, workers=4,
+                         chunk_size=4_096, use_cache=False)
+    counters = _overlay_counters(before)
+    reference = universe.whp.classify(cells.lons, cells.lats)
+    assert (got == reference).all()
+    if not counters.get("parallel.fallbacks", 0):
+        assert counters.get("shm.created", 0) + \
+            counters.get("shm.reused", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle
+# ----------------------------------------------------------------------
+
+def test_share_attach_round_trip():
+    arrays = {
+        "a": np.arange(1000, dtype=np.float64),
+        "b": np.arange(7, dtype=np.int8),
+        "c": np.linspace(0, 1, 33).reshape(3, 11),
+    }
+    handle = runtime_shm.share_arrays(b"tok-round-trip", arrays)
+    if handle is None:
+        pytest.skip("shared memory unavailable")
+    views = runtime_shm.attach_arrays(handle)
+    assert set(views) == set(arrays)
+    for name, arr in arrays.items():
+        assert views[name].dtype == arr.dtype
+        assert views[name].shape == arr.shape
+        assert np.array_equal(views[name], arr)
+        # every view starts cache-line aligned inside the segment
+    for field in handle.fields:
+        assert field.offset % runtime_shm.ALIGNMENT == 0
+
+    # same token -> same handle, no new segment
+    again = runtime_shm.share_arrays(b"tok-round-trip", {})
+    assert again is handle
+
+
+def test_segment_lru_eviction():
+    arrays = {"x": np.arange(64, dtype=np.float64)}
+    handles = []
+    for i in range(runtime_shm.MAX_SEGMENTS + 2):
+        h = runtime_shm.share_arrays(b"tok-%d" % i, arrays)
+        if h is None:
+            pytest.skip("shared memory unavailable")
+        handles.append(h)
+    active = runtime_shm.active_segments()
+    assert len(active) <= runtime_shm.MAX_SEGMENTS
+    assert handles[-1].shm_name in active
+    assert handles[0].shm_name not in active
+
+
+def test_release_segments_clears_registry():
+    h = runtime_shm.share_arrays(b"tok-release",
+                                 {"x": np.zeros(8)})
+    if h is None:
+        pytest.skip("shared memory unavailable")
+    assert h.shm_name in runtime_shm.active_segments()
+    runtime_shm.release_segments()
+    assert runtime_shm.active_segments() == []
+    # a new share after release starts a fresh segment
+    h2 = runtime_shm.share_arrays(b"tok-release", {"x": np.zeros(8)})
+    assert h2 is not None and h2.shm_name != h.shm_name
+
+
+# ----------------------------------------------------------------------
+# Tiled raster sampling: counter parity with the untiled path
+# ----------------------------------------------------------------------
+
+def test_tiled_sampling_counter_parity(universe, monkeypatch):
+    cells = universe.cells
+    whp = universe.whp
+
+    before = STATS.snapshot()
+    untiled = whp.classify(cells.lons, cells.lats)
+    base = STATS.delta_since(before)["counters"]
+
+    monkeypatch.setattr(raster_mod, "SAMPLE_TILE_POINTS", 1_024)
+    before = STATS.snapshot()
+    tiled = whp.classify(cells.lons, cells.lats)
+    small = STATS.delta_since(before)["counters"]
+
+    assert (tiled == untiled).all()
+    # identical sample totals, strictly more tiles
+    assert small["raster.samples"] == base["raster.samples"]
+    assert small["raster.samples"] >= len(cells)
+    assert small["raster.tiles"] > base["raster.tiles"]
+    expected_tiles_per_pass = -(-len(cells) // 1_024)
+    assert small["raster.tiles"] % expected_tiles_per_pass == 0

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the packed-cells layer.
+
+Two invariants guard the shared-memory fast path:
+
+* pack -> unpack is lossless for every ``CellUniverse`` column at the
+  dtypes ``PACK_DTYPES`` chooses (``pack_cells`` refuses any universe
+  where narrowing would lose bits, so the round trip is exact by
+  construction — these tests confirm the refusal actually fires);
+* a grid index rehydrated from packed CSR arrays answers every query
+  exactly like a freshly built index over the same coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.cells import CellUniverse
+from repro.data.packed import pack_cells, unpack_cells, unpack_index
+from repro.geo.geometry import BBox, Polygon
+from repro.geo.index import UniformGridIndex
+
+import pytest
+
+# Strategies -----------------------------------------------------------
+
+_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+_sizes = st.integers(min_value=1, max_value=400)
+
+
+def _universe(seed: int, n: int, wide_ids: bool = False) -> CellUniverse:
+    rng = np.random.default_rng(seed)
+    site_dtype = np.int64
+    site_ids = rng.integers(0, 2**40 if wide_ids else 2**31 - 1, n,
+                            dtype=site_dtype)
+    return CellUniverse(
+        lons=rng.uniform(-124.0, -67.0, n),
+        lats=rng.uniform(25.0, 49.0, n),
+        site_ids=site_ids,
+        mcc=rng.integers(200, 750, n, dtype=np.int32),
+        mnc=rng.integers(0, 999, n, dtype=np.int32),
+        provider_group=rng.integers(0, 5, n, dtype=np.int8),
+        radio=rng.integers(0, 4, n, dtype=np.int8),
+    )
+
+
+# Pack / unpack round trip ---------------------------------------------
+
+@given(_seeds, _sizes, st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_pack_unpack_lossless(seed, n, wide_ids):
+    cells = _universe(seed, n, wide_ids=wide_ids)
+    pack = pack_cells(cells, cell_deg=0.5)
+    back = unpack_cells(pack)
+    for field in ("lons", "lats", "site_ids", "mcc", "mnc",
+                  "provider_group", "radio"):
+        a = getattr(cells, field)
+        b = getattr(back, field)
+        assert a.dtype == b.dtype, field
+        assert np.array_equal(a, b), field
+    # coordinates must stay float64: PIP arithmetic is bit-sensitive
+    assert pack.arrays["lons"].dtype == np.float64
+    assert pack.arrays["lats"].dtype == np.float64
+    # ids narrow to int32 exactly when the values fit
+    expected = np.int64 if wide_ids and cells.site_ids.max() >= 2**31 \
+        else np.int32
+    assert pack.arrays["site_ids"].dtype == expected
+    assert len(pack) == len(cells)
+    assert pack.token == cells.content_token()
+
+
+def test_pack_rejects_lossy_columns():
+    cells = _universe(0, 10)
+    bad = CellUniverse(
+        lons=cells.lons, lats=cells.lats, site_ids=cells.site_ids,
+        mcc=cells.mcc.astype(np.int64) * 2**33,  # overflows int32
+        mnc=cells.mnc, provider_group=cells.provider_group,
+        radio=cells.radio)
+    with pytest.raises(ValueError, match="mcc"):
+        pack_cells(bad, cell_deg=0.5)
+
+
+# Packed index == fresh index ------------------------------------------
+
+@given(_seeds, st.integers(min_value=2, max_value=300))
+@settings(max_examples=25, deadline=None)
+def test_packed_index_answers_queries_identically(seed, n):
+    cells = _universe(seed, n)
+    pack = pack_cells(cells, cell_deg=0.5)
+    adopted = unpack_index(pack.arrays)
+    fresh = UniformGridIndex(cells.lons, cells.lats, 0.5)
+
+    rng = np.random.default_rng(seed + 17)
+    for _ in range(5):
+        lon = rng.uniform(-123.0, -68.0)
+        lat = rng.uniform(26.0, 48.0)
+        w = rng.uniform(0.01, 6.0)
+        h = rng.uniform(0.01, 6.0)
+        bbox = BBox(lon, lat, lon + w, lat + h)
+        assert np.array_equal(np.sort(adopted.query_bbox(bbox)),
+                              np.sort(fresh.query_bbox(bbox)))
+
+    # a triangle over the data extent exercises the PIP stage too
+    tri = Polygon(np.array([
+        [cells.lons.min(), cells.lats.min()],
+        [cells.lons.max(), cells.lats.min()],
+        [cells.lons.mean(), cells.lats.max()],
+        [cells.lons.min(), cells.lats.min()],
+    ]))
+    assert np.array_equal(np.sort(adopted.query_polygon(tri)),
+                          np.sort(fresh.query_polygon(tri)))
+
+
+@given(_seeds)
+@settings(max_examples=10, deadline=None)
+def test_packed_index_roundtrip_arrays_exact(seed):
+    """to_arrays -> from_arrays preserves every CSR array bitwise."""
+    cells = _universe(seed, 64)
+    fresh = UniformGridIndex(cells.lons, cells.lats, 0.5)
+    adopted = UniformGridIndex.from_arrays(fresh.to_arrays())
+    for name in ("lons", "lats", "_order", "_uniq_keys", "_bucket_ptr",
+                 "_slons", "_slats"):
+        assert np.array_equal(getattr(adopted, name),
+                              getattr(fresh, name)), name
+    assert adopted.cell_deg == fresh.cell_deg
+    assert adopted.bbox == fresh.bbox
