@@ -120,3 +120,82 @@ def test_paper_scale_within_budget(universe):
     if counters.get("parallel.pool_runs", 0) and \
             not counters.get("parallel.fallbacks", 0):
         assert counters.get("pool.worker_index_builds", 0) == 0
+
+
+def test_paper_scale_stream_tick():
+    """The streaming tentpole at paper scale.
+
+    One incident tick over the full 5.36M-transceiver universe — the
+    scripted 2019 fires advance one growth step, every background
+    fire holds still — must (a) touch at most 5% of the occupied
+    grid buckets and (b) finish at least 10x faster than rebuilding
+    the season overlay from scratch, while matching the rebuild bit
+    for bit.
+    """
+    from repro.core.overlay import FireDelta, overlay_fires, update_overlay
+    from repro.data.universe import universe_for_scale
+    from repro.data.wildfires import scripted_2019_growth
+    from repro.runtime import dispatch
+
+    paper = universe_for_scale("paper")    # cached across this module
+    cells = paper.cells
+    index = cells.index()
+    workers = int(os.environ.get("REPRO_WORKERS", "4"))
+
+    growth = scripted_2019_growth(8)
+    penultimate = {f.name: f for f in growth[-2]}
+    season = paper.fire_season(2019).fires
+    fires_prev = [penultimate.get(f.name, f) for f in season]
+    deltas = [FireDelta(fire=f) for f in growth[-1]
+              if penultimate[f.name].polygon.exterior.tobytes()
+              != f.polygon.exterior.tobytes()]
+    assert deltas
+
+    prev = overlay_fires(cells, fires_prev, year=2019, workers=workers,
+                         use_cache=False, keep_hits=True)
+    rebuild, rebuild_s = _timed(
+        overlay_fires, cells, season, year=2019, workers=workers,
+        use_cache=False)
+
+    reps = 5
+    tick_times, counters = [], {}
+    updated = None
+    for _ in range(reps):
+        before = STATS.snapshot()
+        updated, spent = _timed(
+            update_overlay, cells, prev, deltas, workers=workers)
+        counters = STATS.delta_since(before)["counters"]
+        tick_times.append(spent)
+    tick_s = min(tick_times)
+    shutdown_pools()
+
+    assert updated.in_perimeter_mask.tobytes() \
+        == rebuild.in_perimeter_mask.tobytes()
+    assert updated.per_fire_counts == rebuild.per_fire_counts
+    assert updated.n_fires == rebuild.n_fires
+
+    dirty = counters.get("index.dirty_buckets", 0)
+    total_buckets = len(index._uniq_keys)
+    dirty_fraction = dirty / max(total_buckets, 1)
+    speedup = rebuild_s / max(tick_s, 1e-9)
+    resolved = dispatch.delta_workers(workers, len(cells), len(deltas))
+
+    record_timing(
+        "stream_tick_paper",
+        n_points=len(cells), n_fires=len(season),
+        n_deltas=len(deltas), workers=workers,
+        resolved_workers=resolved, reps=reps,
+        tick_s=tick_s, rebuild_s=rebuild_s, speedup=speedup,
+        dirty_buckets=dirty,
+        skipped_buckets=counters.get("index.skipped_buckets", 0),
+        total_buckets=total_buckets, dirty_fraction=dirty_fraction)
+    print_result(
+        "Paper scale — stream tick",
+        f"tick ({len(deltas)} deltas, {dirty}/{total_buckets} dirty "
+        f"buckets = {dirty_fraction:.2%}) {tick_s * 1000:.1f}ms vs "
+        f"rebuild {rebuild_s:.2f}s -> {speedup:,.0f}x")
+
+    assert dirty_fraction <= 0.05, \
+        f"a tick must stay under 5% dirty buckets ({dirty_fraction:.2%})"
+    assert tick_s * 10.0 <= rebuild_s, \
+        f"a paper-scale tick must beat the rebuild 10x ({speedup:.1f}x)"

@@ -255,6 +255,83 @@ def test_runtime_pool_reuse(universe):
         f"reused {reused}")
 
 
+def test_runtime_stream_tick(universe):
+    """Incremental tick vs full season rebuild (the stream tentpole).
+
+    One live-feed tick at benchmark scale: the scripted 2019 fires
+    advance from their penultimate to their final growth snapshot
+    while the ~370 background fires stay still.  The delta engine
+    must produce the exact rebuild bits while re-testing only the
+    dirty buckets — and beat the from-scratch ``overlay_fires``
+    rebuild by at least 10x.
+    """
+    from repro.core.overlay import FireDelta, update_overlay
+    from repro.data.wildfires import scripted_2019_growth
+
+    cells = universe.cells
+    index = cells.index()
+    workers = int(os.environ.get("REPRO_WORKERS", "4"))
+
+    growth = scripted_2019_growth(8)
+    penultimate = {f.name: f for f in growth[-2]}
+    season = universe.fire_season(2019).fires
+    fires_prev = [penultimate.get(f.name, f) for f in season]
+    deltas = [FireDelta(fire=f) for f in growth[-1]
+              if penultimate[f.name].polygon.exterior.tobytes()
+              != f.polygon.exterior.tobytes()]
+    assert deltas, "the final growth tick must move at least one fire"
+
+    prev = overlay_fires(cells, fires_prev, year=2019, workers=workers,
+                         use_cache=False, keep_hits=True)
+
+    rebuild, rebuild_s = _timed(
+        overlay_fires, cells, season, year=2019, workers=workers,
+        use_cache=False)
+
+    reps = 5
+    tick_times = []
+    updated = None
+    for _ in range(reps):
+        before = STATS.snapshot()
+        updated, spent = _timed(
+            update_overlay, cells, prev, deltas, workers=workers)
+        counters = STATS.delta_since(before)["counters"]
+        tick_times.append(spent)
+    tick_s = min(tick_times)
+
+    # exactness first: the tick is the rebuild, bit for bit
+    assert updated.in_perimeter_mask.tobytes() \
+        == rebuild.in_perimeter_mask.tobytes()
+    assert updated.per_fire_counts == rebuild.per_fire_counts
+    assert updated.n_fires == rebuild.n_fires
+
+    dirty = counters.get("index.dirty_buckets", 0)
+    skipped = counters.get("index.skipped_buckets", 0)
+    total_buckets = len(index._uniq_keys)
+    dirty_fraction = dirty / max(total_buckets, 1)
+    resolved = dispatch.delta_workers(workers, len(cells), len(deltas))
+    speedup = rebuild_s / max(tick_s, 1e-9)
+
+    record_timing(
+        "stream_tick",
+        n_points=len(cells), n_fires=len(season),
+        n_deltas=len(deltas), workers=workers,
+        resolved_workers=resolved, reps=reps,
+        tick_s=tick_s, rebuild_s=rebuild_s, speedup=speedup,
+        dirty_buckets=dirty, skipped_buckets=skipped,
+        total_buckets=total_buckets, dirty_fraction=dirty_fraction,
+        pip_tests=counters.get("index.pip_tests", 0),
+        pip_skipped=counters.get("index.pip_skipped", 0))
+    print_result(
+        "RUNTIME — stream tick",
+        f"tick ({len(deltas)} deltas, {dirty}/{total_buckets} dirty "
+        f"buckets) {tick_s * 1000:.2f}ms vs rebuild "
+        f"({len(season)} fires) {rebuild_s * 1000:.1f}ms -> "
+        f"{speedup:,.0f}x")
+    assert tick_s * 10.0 <= rebuild_s, \
+        f"a tick must be >=10x faster than a rebuild ({speedup:.1f}x)"
+
+
 def test_runtime_session_reuse(universe):
     """In-session artifact memo vs recomputing per analysis.
 

@@ -44,6 +44,7 @@ from ..runtime import (
     cache_key,
     chunk_spans,
     classify_workers,
+    delta_workers,
     get_cache,
     get_config,
     overlay_workers,
@@ -55,7 +56,8 @@ from ..obs.trace import span as trace_span
 from ..runtime.stats import STATS
 from ..session import StageOption, artifact, register_stage
 
-__all__ = ["FireOverlayResult", "overlay_fires", "overlay_fires_bruteforce",
+__all__ = ["FireOverlayResult", "FireDelta", "overlay_fires",
+           "overlay_fires_bruteforce", "update_overlay", "empty_overlay",
            "classify_cells", "fires_token"]
 
 #: Default grid-index bucket size, matching :meth:`CellUniverse.index`.
@@ -68,12 +70,22 @@ _FIRE_SLICES_PER_WORKER = 4
 
 @dataclass
 class FireOverlayResult:
-    """Result of joining a transceiver universe with fire perimeters."""
+    """Result of joining a transceiver universe with fire perimeters.
+
+    ``per_fire_hits`` (populated by ``keep_hits=True``) carries each
+    fire's exact hit indices — the *answered footprint* the incremental
+    engine hands back to :meth:`UniformGridIndex.query_polygon_delta`
+    so a later tick re-tests only dirty buckets.  ``None`` means the
+    footprints were not retained; :func:`update_overlay` then falls
+    back to full queries for the affected fires (still bit-identical,
+    just without the skip).
+    """
 
     year: int
     n_fires: int
     in_perimeter_mask: np.ndarray       # bool per transceiver
     per_fire_counts: dict[str, int]     # fire name -> transceivers inside
+    per_fire_hits: dict[str, np.ndarray] | None = None
 
     @property
     def n_in_perimeter(self) -> int:
@@ -82,6 +94,19 @@ class FireOverlayResult:
     def scaled_count(self, universe_scale: float) -> int:
         """Count rescaled to the paper's 5.36M-transceiver universe."""
         return int(round(self.n_in_perimeter * universe_scale))
+
+
+@dataclass(frozen=True)
+class FireDelta:
+    """One mutated fire front: the perimeter as of the current tick.
+
+    ``fire.name`` identifies the fire.  A name already present in the
+    previous overlay is a **growth** delta — its polygon must contain
+    the previous perimeter (a fire front only spreads); an unknown
+    name is an **ignition** and joins the season.
+    """
+
+    fire: FirePerimeter
 
 
 # Per-perimeter content digests, memoized for the life of the fire
@@ -211,6 +236,32 @@ def _overlay_fires_task(fires: list[FirePerimeter]):
     return counts, hits, STATS.delta_since(before)
 
 
+def _delta_overlay_task(items: list):
+    """Delta-join a slice of ``(fire, prev_hits)`` pairs.
+
+    Same shape as :func:`_overlay_fires_task` — per-fire hit counts in
+    slice order, concatenated global hit indices, worker stats delta —
+    but each fire with an answered footprint runs the dirty-bucket
+    delta query instead of the full polygon query.
+    """
+    before = STATS.snapshot()
+    with trace_span("overlay.delta_chunk", n_deltas=len(items)) as sp:
+        index = _worker_index()
+        counts = np.zeros(len(items), dtype=np.int64)
+        hit_chunks = []
+        for i, (fire, prev_hits) in enumerate(items):
+            if prev_hits is None:
+                hits = index.query_polygon(fire.polygon)
+            else:
+                hits = index.query_polygon_delta(fire.polygon, prev_hits)
+            counts[i] = len(hits)
+            hit_chunks.append(hits)
+        hits = np.concatenate(hit_chunks) if hit_chunks \
+            else np.empty(0, dtype=np.int64)
+        sp.set(hits=int(counts.sum()))
+    return counts, hits, STATS.delta_since(before)
+
+
 def _init_classify_worker(lons, lats, whp) -> None:
     global _WORKER_STATE
     _WORKER_STATE = {"lons": lons, "lats": lats, "whp": whp}
@@ -239,7 +290,8 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
                   year: int | None = None, *,
                   workers: int | None = None,
                   chunk_size: int | None = None,
-                  use_cache: bool | None = None) -> FireOverlayResult:
+                  use_cache: bool | None = None,
+                  keep_hits: bool = False) -> FireOverlayResult:
     """Join transceivers against fire perimeters using the grid index.
 
     A transceiver inside any perimeter counts once in the mask; per-fire
@@ -251,6 +303,12 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
     a *request*: the adaptive dispatcher resolves it against the
     estimated work and the machine's core budget, and falls back to the
     strictly-serial path whenever parallelism could not win.
+
+    ``keep_hits=True`` additionally retains each fire's exact hit
+    indices (``per_fire_hits``), the answered footprints
+    :func:`update_overlay` needs to run incremental ticks.  Masks and
+    counts are unaffected; cached entries are keyed separately because
+    the payload differs.
     """
     cfg = get_config()
     if workers is None:
@@ -262,7 +320,9 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
 
     key = None
     if use_cache:
-        key = cache_key(b"overlay_fires/v1", cells.content_token(),
+        version = b"overlay_fires/v2+hits" if keep_hits \
+            else b"overlay_fires/v1"
+        key = cache_key(version, cells.content_token(),
                         fires_token(fires), resolved_year)
         entry = get_cache().get(key)
         if entry is not None:
@@ -276,9 +336,10 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
             sp.set(workers=eff_workers)
             if eff_workers > 1:
                 result = _overlay_parallel(cells, fires, resolved_year,
-                                           eff_workers)
+                                           eff_workers, keep_hits)
             else:
-                result = _overlay_serial(cells, fires, resolved_year)
+                result = _overlay_serial(cells, fires, resolved_year,
+                                         keep_hits)
 
     if use_cache and key is not None:
         get_cache().put(key, _encode_overlay(result))
@@ -286,21 +347,27 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
 
 
 def _overlay_serial(cells: CellUniverse, fires: list[FirePerimeter],
-                    year: int) -> FireOverlayResult:
+                    year: int, keep_hits: bool = False) \
+        -> FireOverlayResult:
     index = cells.index()
     mask = np.zeros(len(cells), dtype=bool)
     per_fire: dict[str, int] = {}
+    hits_map: dict[str, np.ndarray] | None = {} if keep_hits else None
     for fire in fires:
         hits = index.query_polygon(fire.polygon)
         per_fire[fire.name] = len(hits)
+        if hits_map is not None:
+            hits_map[fire.name] = hits
         mask[hits] = True
     return FireOverlayResult(year=year, n_fires=len(fires),
                              in_perimeter_mask=mask,
-                             per_fire_counts=per_fire)
+                             per_fire_counts=per_fire,
+                             per_fire_hits=hits_map)
 
 
 def _overlay_parallel(cells: CellUniverse, fires: list[FirePerimeter],
-                      year: int, workers: int) -> FireOverlayResult:
+                      year: int, workers: int,
+                      keep_hits: bool = False) -> FireOverlayResult:
     """Fire-sharded parallel overlay on the persistent universe pool.
 
     Each task is a contiguous slice of the fire list; each fire is
@@ -312,34 +379,161 @@ def _overlay_parallel(cells: CellUniverse, fires: list[FirePerimeter],
                           (workers * _FIRE_SLICES_PER_WORKER)))
     spans = chunk_spans(len(fires), slice_size)
     tasks = [fires[lo:hi] for lo, hi in spans]
+    initializer, initargs = _overlay_pool_init(cells)
+    results = run_tasks(
+        "overlay", workers, cells.content_token(),
+        _overlay_fires_task, tasks,
+        initializer=initializer, initargs=initargs)
+    if results is None:
+        return _overlay_serial(cells, fires, year, keep_hits)
+
+    mask = np.zeros(len(cells), dtype=bool)
+    counts = np.concatenate([r[0] for r in results]) if results \
+        else np.empty(0, dtype=np.int64)
+    pieces: list[np.ndarray] = []
+    for slice_counts, hits, delta in results:
+        mask[hits] = True
+        STATS.merge(delta)
+        if keep_hits:
+            pieces.extend(np.split(hits,
+                                   np.cumsum(slice_counts)[:-1]))
+    per_fire = {fire.name: int(counts[i]) for i, fire in enumerate(fires)}
+    hits_map = {fire.name: pieces[i] for i, fire in enumerate(fires)} \
+        if keep_hits else None
+    return FireOverlayResult(year=year, n_fires=len(fires),
+                             in_perimeter_mask=mask,
+                             per_fire_counts=per_fire,
+                             per_fire_hits=hits_map)
+
+
+def _overlay_pool_init(cells: CellUniverse):
+    """(initializer, initargs) for the shared universe pool."""
     initializer, initargs = _init_overlay_worker, \
         (cells.lons, cells.lats, _INDEX_CELL_DEG)
     if use_shared_memory(len(cells)):
         handle = _shared_handle(cells)
         if handle is not None:
             initializer, initargs = _init_overlay_worker_shm, (handle,)
+    return initializer, initargs
+
+
+def empty_overlay(cells: CellUniverse, year: int, *,
+                  keep_hits: bool = False) -> FireOverlayResult:
+    """A no-fires overlay — the tick-zero state of an incident fold."""
+    return FireOverlayResult(
+        year=year, n_fires=0,
+        in_perimeter_mask=np.zeros(len(cells), dtype=bool),
+        per_fire_counts={},
+        per_fire_hits={} if keep_hits else None)
+
+
+def update_overlay(cells: CellUniverse, prev: FireOverlayResult,
+                   deltas: list[FireDelta], *,
+                   workers: int | None = None,
+                   keep_hits: bool = True) -> FireOverlayResult:
+    """Advance an overlay by one tick of fire-front deltas.
+
+    Produces the exact result a from-scratch :func:`overlay_fires`
+    would on the updated fire list (changed perimeters replaced in
+    place, ignitions appended) — pinned bit-for-bit by the
+    differential suite in ``tests/stream/`` — while touching only the
+    *dirty* grid buckets of the changed fires:
+
+    * a grown fire with an answered footprint in ``prev.per_fire_hits``
+      runs :meth:`UniformGridIndex.query_polygon_delta`, skipping every
+      fully-answered bucket and every already-answered candidate;
+    * an ignition (or a fire whose footprint was not retained) runs the
+      ordinary full polygon query;
+    * unchanged fires are not touched at all — their counts, hit
+      footprints, and mask contribution carry over.
+
+    The mask update relies on monotone growth (``prev`` hits stay
+    hits), the same contract ``query_polygon_delta`` documents.  Large
+    dirty sets dispatch through the persistent pool/shm machinery
+    (``delta_workers`` crossover); small ticks run serially.
+    """
+    cfg = get_config()
+    if workers is None:
+        workers = cfg.workers
+    if not deltas:
+        return prev
+    prev_hits_map = prev.per_fire_hits or {}
+    items = [(d.fire, prev_hits_map.get(d.fire.name)) for d in deltas]
+
+    with trace_span("update_overlay", year=prev.year,
+                    n_points=len(cells), n_deltas=len(deltas)) as sp:
+        with STATS.timer("update_overlay"):
+            eff_workers = delta_workers(workers, len(cells),
+                                        len(deltas))
+            sp.set(workers=eff_workers)
+            fire_hits = None
+            if eff_workers > 1:
+                fire_hits = _update_parallel(cells, items, eff_workers)
+            if fire_hits is None:
+                fire_hits = _update_serial(cells, items)
+
+    mask = prev.in_perimeter_mask.copy()
+    per_fire = dict(prev.per_fire_counts)
+    hits_map = dict(prev_hits_map) if keep_hits else None
+    n_fires = prev.n_fires
+    for delta, hits in zip(deltas, fire_hits):
+        name = delta.fire.name
+        if name not in per_fire:
+            n_fires += 1
+        mask[hits] = True
+        per_fire[name] = len(hits)
+        if hits_map is not None:
+            hits_map[name] = hits
+    return FireOverlayResult(year=prev.year, n_fires=n_fires,
+                             in_perimeter_mask=mask,
+                             per_fire_counts=per_fire,
+                             per_fire_hits=hits_map)
+
+
+def _update_serial(cells: CellUniverse, items: list) -> list[np.ndarray]:
+    index = cells.index()
+    out = []
+    for fire, prev_hits in items:
+        if prev_hits is None:
+            out.append(index.query_polygon(fire.polygon))
+        else:
+            out.append(index.query_polygon_delta(fire.polygon,
+                                                 prev_hits))
+    return out
+
+
+def _update_parallel(cells: CellUniverse, items: list,
+                     workers: int) -> list[np.ndarray] | None:
+    """Delta-sharded parallel tick on the persistent universe pool.
+
+    Reuses the warm ``overlay`` pool (same name, same universe token)
+    so a tick after a batch overlay ships only its delta slices; the
+    pool-failure fallback returns ``None`` and the caller runs the
+    identical queries serially.
+    """
+    slice_size = max(1, -(-len(items) //
+                          (workers * _FIRE_SLICES_PER_WORKER)))
+    spans = chunk_spans(len(items), slice_size)
+    tasks = [items[lo:hi] for lo, hi in spans]
+    initializer, initargs = _overlay_pool_init(cells)
     results = run_tasks(
         "overlay", workers, cells.content_token(),
-        _overlay_fires_task, tasks,
+        _delta_overlay_task, tasks,
         initializer=initializer, initargs=initargs)
     if results is None:
-        return _overlay_serial(cells, fires, year)
-
-    mask = np.zeros(len(cells), dtype=bool)
-    counts = np.concatenate([r[0] for r in results]) if results \
-        else np.empty(0, dtype=np.int64)
-    for _, hits, delta in results:
-        mask[hits] = True
+        return None
+    out: list[np.ndarray] = []
+    for counts, hits, delta in results:
         STATS.merge(delta)
-    per_fire = {fire.name: int(counts[i]) for i, fire in enumerate(fires)}
-    return FireOverlayResult(year=year, n_fires=len(fires),
-                             in_perimeter_mask=mask,
-                             per_fire_counts=per_fire)
+        out.extend(np.split(hits, np.cumsum(counts)[:-1]))
+    return out
 
 
 def overlay_fires_bruteforce(cells: CellUniverse,
                              fires: list[FirePerimeter],
-                             year: int | None = None) -> FireOverlayResult:
+                             year: int | None = None, *,
+                             keep_hits: bool = False) \
+        -> FireOverlayResult:
     """Reference implementation without the spatial index.
 
     Used by tests (equivalence oracle) and by the ablation benchmark that
@@ -347,15 +541,19 @@ def overlay_fires_bruteforce(cells: CellUniverse,
     """
     mask = np.zeros(len(cells), dtype=bool)
     per_fire: dict[str, int] = {}
+    hits_map: dict[str, np.ndarray] | None = {} if keep_hits else None
     for fire in fires:
         inside = fire.polygon.contains_many(cells.lons, cells.lats)
         per_fire[fire.name] = int(inside.sum())
+        if hits_map is not None:
+            hits_map[fire.name] = np.nonzero(inside)[0]
         mask |= inside
     return FireOverlayResult(
         year=year if year is not None else (fires[0].year if fires else 0),
         n_fires=len(fires),
         in_perimeter_mask=mask,
         per_fire_counts=per_fire,
+        per_fire_hits=hits_map,
     )
 
 
@@ -458,21 +656,34 @@ register_stage("season_overlay",
 
 def _encode_overlay(result: FireOverlayResult) -> dict:
     names = list(result.per_fire_counts)
-    return {
+    entry = {
         "mask": result.in_perimeter_mask,
         "counts": np.array([result.per_fire_counts[n] for n in names],
                            dtype=np.int64),
         "names": np.array(names, dtype=np.str_),
         "meta": np.array([result.year, result.n_fires], dtype=np.int64),
     }
+    if result.per_fire_hits is not None:
+        # Footprints concatenated in name order; the counts array is
+        # the split table (each fire's hit count == its footprint len).
+        hits = [result.per_fire_hits[n] for n in names]
+        entry["hits"] = np.concatenate(hits) if hits \
+            else np.empty(0, dtype=np.int64)
+    return entry
 
 
 def _decode_overlay(entry: dict) -> FireOverlayResult:
     names = [str(n) for n in entry["names"]]
     counts = entry["counts"]
+    hits_map = None
+    if "hits" in entry:
+        pieces = np.split(np.asarray(entry["hits"], dtype=np.int64),
+                          np.cumsum(counts)[:-1])
+        hits_map = dict(zip(names, pieces))
     return FireOverlayResult(
         year=int(entry["meta"][0]),
         n_fires=int(entry["meta"][1]),
         in_perimeter_mask=np.asarray(entry["mask"], dtype=bool),
         per_fire_counts={n: int(c) for n, c in zip(names, counts)},
+        per_fire_hits=hits_map,
     )

@@ -48,6 +48,7 @@ __all__ = [
     "render_escape",
     "render_mitigation",
     "render_counties",
+    "render_stream",
 ]
 
 
@@ -359,6 +360,34 @@ def render_season_overlay(result) -> str:
                          [[name, f"{count:,}"] for name, count in top])
     return (f"{result.year}: {result.n_fires:,} fires, {n:,} of "
             f"{total:,} transceivers in perimeters ({pct:.4f}%)\n"
+            + table)
+
+
+def render_stream(result) -> str:
+    """Per-tick incident diff table (delta overlay stream)."""
+    rows = []
+    for e in result.events:
+        labels = [*e.ignited, *(f"{n}+" for n in e.changed)]
+        if len(labels) > 4:
+            labels = labels[:4] + [f"(+{len(labels) - 4} more)"]
+        fires = ", ".join(labels)
+        rows.append([
+            e.tick,
+            fires or "-",
+            f"{e.new_impacted:+,}",
+            f"{e.cum_impacted:,}",
+            f"{e.new_population:+,.0f}",
+            f"{e.cum_population:,.0f}",
+            f"{e.dirty_buckets:,}",
+            f"{e.skipped_buckets:,}",
+        ])
+    table = format_table(
+        ["Tick", "Fires (new, grown+)", "New tx", "Cum tx",
+         "New pop", "Cum pop", "Dirty", "Skipped"], rows)
+    final = result.final
+    return (f"{result.year} incident stream: {result.n_ticks} ticks, "
+            f"{final.n_fires:,} fires, "
+            f"{final.n_in_perimeter:,} transceivers in perimeters\n"
             + table)
 
 

@@ -208,6 +208,31 @@ class PopulationSurface:
             return 0.0
         return float(self.raster.data[r0:r1 + 1, c0:c1 + 1].sum())
 
+    def population_in_polygon(self, polygon) -> float:
+        """Total population inside a polygon (cell-center rule).
+
+        A raster cell counts iff its *center* falls inside the polygon —
+        the same rule :meth:`population_in_bbox` applies to boxes, so the
+        two agree on polygons that happen to be rectangles.
+        """
+        bbox = polygon.bbox
+        grid = self.grid
+        r0, c0 = grid.rowcol(bbox.min_lon, bbox.max_lat)
+        r1, c1 = grid.rowcol(bbox.max_lon, bbox.min_lat)
+        r0 = max(int(r0), 0)
+        c0 = max(int(c0), 0)
+        r1 = min(int(r1), grid.height - 1)
+        c1 = min(int(c1), grid.width - 1)
+        if r0 > r1 or c0 > c1:
+            return 0.0
+        rows = np.arange(r0, r1 + 1)
+        cols = np.arange(c0, c1 + 1)
+        cmesh, rmesh = np.meshgrid(cols, rows)
+        clons, clats = grid.cell_center(rmesh.ravel(), cmesh.ravel())
+        inside = polygon.contains_many(clons, clats)
+        window = self.raster.data[r0:r1 + 1, c0:c1 + 1].ravel()
+        return float(window[inside].sum())
+
     def sample_points(self, n: int, rng: np.random.Generator,
                       exponent: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
         """Draw n points with probability ∝ density**exponent.

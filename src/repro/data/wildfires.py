@@ -34,7 +34,8 @@ from .historical_stats import year_stats
 from .whp import WhpModel
 
 __all__ = ["FirePerimeter", "FireSeason", "generate_fire_season",
-           "scripted_2019_fires", "star_polygon",
+           "scripted_2019_fires", "scripted_2019_growth",
+           "interpolated_perimeter", "star_polygon",
            "SCRIPTED_LA_FIRES_2019"]
 
 #: Names of the two scripted fires that reproduce the paper's §3.4
@@ -207,6 +208,33 @@ def generate_fire_season(year: int, whp: WhpModel, seed: int | None = None,
     return FireSeason(year=year, fires=fires)
 
 
+#: The four scripted 2019 case-study fires as
+#: ``(name, agency, anchor_city, dlon, dlat, acres, start_doy, end_doy)``
+#: rows.  Row order is the rng-consumption order of
+#: :func:`scripted_2019_fires` and must not change — the perimeters are
+#: pinned bit-for-bit by golden tests.
+_SCRIPTED_2019 = (
+    ("Kincade", "CAL FIRE", "San Francisco", -0.35, 0.95,
+     77_758.0, 296, 310),
+    ("Getty", "LAFD", "Los Angeles", -0.24, 0.05, 745.0, 301, 309),
+    ("Saddle Ridge", "LAFD", "Los Angeles", 0.04, 0.13,
+     8_799.0, 283, 304),
+    ("Tick", "CAL FIRE", "Los Angeles", 0.12, 0.20, 4_615.0, 297, 305),
+)
+
+#: A perimeter enters the stream at this fraction of its final linear
+#: extent the tick it ignites (a point ignition would be a degenerate
+#: polygon).
+_IGNITION_FRACTION = 0.2
+
+
+def _scripted_centers() -> list[tuple[float, float]]:
+    """Generation centers of the scripted fires (table order)."""
+    return [(city_by_name(anchor).lon + dlon,
+             city_by_name(anchor).lat + dlat)
+            for _, _, anchor, dlon, dlat, _, _, _ in _SCRIPTED_2019]
+
+
 def scripted_2019_fires(seed: int = 2019) -> list[FirePerimeter]:
     """The four scripted California fires of the 2019 case study.
 
@@ -216,35 +244,88 @@ def scripted_2019_fires(seed: int = 2019) -> list[FirePerimeter]:
     urban fringe and highway corridor north of LA.
     """
     rng = np.random.default_rng(seed)
-    la = city_by_name("Los Angeles")
-    sf = city_by_name("San Francisco")
-
-    fires = [
-        FirePerimeter(
-            name="Kincade", year=2019, start_doy=296, end_doy=310,
-            acres=77_758.0,
-            polygon=star_polygon(sf.lon - 0.35, sf.lat + 0.95, 77_758.0,
-                                 rng),
-            agency="CAL FIRE"),
-        FirePerimeter(
-            name="Getty", year=2019, start_doy=301, end_doy=309,
-            acres=745.0,
-            polygon=star_polygon(la.lon - 0.24, la.lat + 0.05, 745.0, rng),
-            agency="LAFD"),
-        FirePerimeter(
-            name="Saddle Ridge", year=2019, start_doy=283, end_doy=304,
-            acres=8_799.0,
-            polygon=star_polygon(la.lon + 0.04, la.lat + 0.13, 8_799.0,
-                                 rng),
-            agency="LAFD"),
-        FirePerimeter(
-            name="Tick", year=2019, start_doy=297, end_doy=305,
-            acres=4_615.0,
-            polygon=star_polygon(la.lon + 0.12, la.lat + 0.20, 4_615.0,
-                                 rng),
-            agency="CAL FIRE"),
-    ]
+    fires = []
+    for (name, agency, anchor, dlon, dlat, acres,
+         start, end) in _SCRIPTED_2019:
+        city = city_by_name(anchor)
+        fires.append(FirePerimeter(
+            name=name, year=2019, start_doy=start, end_doy=end,
+            acres=acres,
+            polygon=star_polygon(city.lon + dlon, city.lat + dlat,
+                                 acres, rng),
+            agency=agency))
     return fires
+
+
+def interpolated_perimeter(fire: FirePerimeter, center_lon: float,
+                           center_lat: float,
+                           fraction: float) -> FirePerimeter:
+    """The fire's front part-way through its growth.
+
+    The exterior ring is scaled about the fire's generation center by
+    ``fraction`` of its final *linear* extent (area scales with the
+    square).  Star polygons are star-shaped about that center, so the
+    interpolated family is monotone: ``fraction1 <= fraction2`` implies
+    the smaller perimeter is contained in the larger — the invariant
+    the delta-overlay engine's bucket skipping rests on.
+
+    ``fraction == 1.0`` returns the *original object*, not a rescaled
+    copy: float scaling does not round-trip bit-exactly, and the stream
+    goldens pin the final tick to the static perimeter.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return fire
+    ring = fire.polygon.exterior
+    lons = center_lon + fraction * (ring[:, 0] - center_lon)
+    lats = center_lat + fraction * (ring[:, 1] - center_lat)
+    return FirePerimeter(
+        name=fire.name, year=fire.year,
+        start_doy=fire.start_doy, end_doy=fire.end_doy,
+        acres=fire.acres * fraction * fraction,
+        polygon=Polygon.from_ccw_ring(np.column_stack([lons, lats])),
+        agency=fire.agency, method=fire.method)
+
+
+def scripted_2019_growth(n_ticks: int = 8, seed: int = 2019) \
+        -> list[list[FirePerimeter]]:
+    """Deterministic per-tick front snapshots of the scripted fires.
+
+    Tick ``t`` maps linearly onto the scripted fires' shared calendar
+    window (day-of-year 283-310); each snapshot holds the fires already
+    ignited by that day, grown to the fraction of their span elapsed
+    (from :data:`_IGNITION_FRACTION` at ignition to 1.0 at
+    containment).  Growth is monotone per fire across ticks, a fire
+    that finishes growing is thereafter the *identical* static object,
+    and the final tick is bit-identical to
+    :func:`scripted_2019_fires` — so folding the stream reproduces the
+    batch season exactly.
+    """
+    if n_ticks < 2:
+        raise ValueError("a growth series needs at least 2 ticks")
+    fires = scripted_2019_fires(seed)
+    centers = _scripted_centers()
+    first = min(f.start_doy for f in fires)
+    last = max(f.end_doy for f in fires)
+    ticks = []
+    for t in range(n_ticks):
+        doy = first + (last - first) * t / (n_ticks - 1)
+        snapshot = []
+        for fire, (clon, clat) in zip(fires, centers):
+            if doy < fire.start_doy:
+                continue
+            if t == n_ticks - 1 or doy >= fire.end_doy:
+                snapshot.append(fire)
+                continue
+            elapsed = (doy - fire.start_doy) \
+                / (fire.end_doy - fire.start_doy)
+            fraction = _IGNITION_FRACTION \
+                + (1.0 - _IGNITION_FRACTION) * elapsed
+            snapshot.append(interpolated_perimeter(fire, clon, clat,
+                                                   fraction))
+        ticks.append(snapshot)
+    return ticks
 
 
 def generate_2019_season(whp: WhpModel, seed: int = 42) -> FireSeason:

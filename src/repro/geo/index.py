@@ -54,6 +54,7 @@ class UniformGridIndex:
             raise ValueError("cell size must be positive")
         self.cell_deg = float(cell_deg)
         n = len(self.lons)
+        self._rank_arr: np.ndarray | None = None
         if n == 0:
             self._order = np.empty(0, dtype=np.int64)
             self._uniq_keys = np.empty(0, dtype=np.int64)
@@ -136,7 +137,24 @@ class UniformGridIndex:
         self._bucket_ptr = arrays["bucket_ptr"]
         self._slons = arrays["slons"]
         self._slats = arrays["slats"]
+        self._rank_arr = None
         return self
+
+    @property
+    def _rank(self) -> np.ndarray:
+        """Inverse of ``_order``: original index -> bucket-sorted position.
+
+        Built lazily (one scatter) the first time a delta query needs to
+        map previously-answered hits back onto CSR positions, then
+        reused for the life of the index.
+        """
+        rank = self._rank_arr
+        if rank is None:
+            n = len(self._order)
+            rank = np.empty(n, dtype=np.int64)
+            rank[self._order] = np.arange(n, dtype=np.int64)
+            self._rank_arr = rank
+        return rank
 
     def _bucket_range(self, bbox: BBox):
         """(c0, c1, r0, r1) bucket window, clamped to the grid extent."""
@@ -148,11 +166,13 @@ class UniformGridIndex:
                 max(r0, 0), min(r1, self._nrows - 1))
 
     def _candidate_runs(self, bbox: BBox):
-        """``(starts, ends)`` CSR runs of candidate positions, or None.
+        """``(starts, ends, nbuckets)`` CSR candidate runs, or None.
 
         Each ``[starts[i], ends[i])`` is one contiguous run of the
         bucket-sorted order covering the candidate buckets of one grid
-        row inside ``bbox``.
+        row inside ``bbox``; ``nbuckets[i]`` is the number of occupied
+        buckets the run spans (the unit the delta path's dirty/skipped
+        counters are denominated in).
         """
         if self.bbox is None or not self.bbox.intersects(bbox):
             return None
@@ -169,7 +189,7 @@ class UniformGridIndex:
         occupied = starts < ends
         if not occupied.any():
             return None
-        return starts[occupied], ends[occupied]
+        return starts[occupied], ends[occupied], (hi - lo)[occupied]
 
     @staticmethod
     def _gather_runs(arr: np.ndarray, starts, ends) -> np.ndarray:
@@ -200,7 +220,8 @@ class UniformGridIndex:
         runs = self._candidate_runs(bbox)
         if runs is None:
             return np.empty(0, dtype=np.int64)
-        out, _, _ = self._bbox_filtered(bbox, *runs)
+        starts, ends, _ = runs
+        out, _, _ = self._bbox_filtered(bbox, starts, ends)
         return out
 
     def query_polygon(self, polygon: Polygon | MultiPolygon) -> np.ndarray:
@@ -214,7 +235,9 @@ class UniformGridIndex:
         runs = self._candidate_runs(polygon.bbox)
         if runs is None:
             return np.empty(0, dtype=np.int64)
-        cand, clons, clats = self._bbox_filtered(polygon.bbox, *runs)
+        starts, ends, _ = runs
+        cand, clons, clats = self._bbox_filtered(polygon.bbox, starts,
+                                                 ends)
         if len(cand) == 0:
             return cand
         keep = polygon.contains_many(clons, clats)
@@ -224,15 +247,125 @@ class UniformGridIndex:
         STATS.count("index.pip_hits", len(out))
         return out
 
+    def query_polygon_delta(self, polygon: Polygon | MultiPolygon,
+                            prev_hits: np.ndarray) -> np.ndarray:
+        """Indices inside ``polygon``, reusing an answered footprint.
+
+        ``prev_hits`` must be the exact result of an earlier
+        :meth:`query_polygon` (or ``query_polygon_delta``) for a
+        perimeter *contained in* ``polygon`` — the monotone-growth
+        contract of a spreading fire front.  Under it every previous
+        hit is still a hit, so the query only has to discover the
+        points the grown perimeter newly covers:
+
+        * candidate buckets whose points were **all** answered by
+          ``prev_hits`` are *skipped* outright (no gather, no bbox
+          test, no point-in-polygon) — ``index.skipped_buckets``;
+        * the remaining *dirty* buckets (``index.dirty_buckets``) run
+          the normal bbox prefilter, but only their still-unanswered
+          candidates pay the point-in-polygon test
+          (``index.pip_skipped`` counts the tests avoided).
+
+        The return value is bit-identical — values, order, dtype — to
+        ``query_polygon(polygon)``, and the ``index.candidates`` /
+        ``index.hits`` / ``index.pip_hits`` counter totals match the
+        batch call exactly; ``index.pip_tests`` counts only the tests
+        actually run, with ``pip_tests + pip_skipped`` equal to the
+        batch total.  If ``prev_hits`` is not a monotone footprint the
+        result is undefined.
+        """
+        prev_hits = np.asarray(prev_hits, dtype=np.int64)
+        STATS.count("index.bbox_queries")
+        STATS.count("index.delta_queries")
+        runs = self._candidate_runs(polygon.bbox)
+        if runs is None:
+            STATS.count("index.polygon_queries")
+            return np.empty(0, dtype=np.int64)
+        starts, ends, nbuckets = runs
+        # Previously-answered hits as sorted CSR positions: a run's
+        # answered count is then one searchsorted pair, and "every
+        # candidate answered" == "run fully answered" == skippable.
+        prev_pos = np.sort(self._rank[prev_hits])
+        lo = np.searchsorted(prev_pos, starts, side="left")
+        hi = np.searchsorted(prev_pos, ends, side="left")
+        run_len = ends - starts
+        full = (hi - lo) == run_len
+        n_cand = int(run_len.sum())
+        n_full_cand = int(run_len[full].sum())
+        STATS.count("index.skipped_buckets", int(nbuckets[full].sum()))
+        STATS.count("index.dirty_buckets", int(nbuckets[~full].sum()))
+        # Batch-parity accounting: a skipped run's candidates are all
+        # previous hits, hence inside the old perimeter, hence inside
+        # the grown perimeter's bbox — the batch call would have
+        # counted every one as a candidate and a bbox hit.
+        STATS.count("index.candidates", n_cand)
+
+        pieces = [prev_pos[s:e] for s, e in
+                  zip(lo[full].tolist(), hi[full].tolist())]
+        n_bbox_hits = n_full_cand
+        n_pip_tests = 0
+        dirty_starts, dirty_ends = starts[~full], ends[~full]
+        if len(dirty_starts):
+            clons = self._gather_runs(self._slons, dirty_starts,
+                                      dirty_ends)
+            clats = self._gather_runs(self._slats, dirty_starts,
+                                      dirty_ends)
+            pos = np.concatenate(
+                [np.arange(s, e, dtype=np.int64) for s, e in
+                 zip(dirty_starts.tolist(), dirty_ends.tolist())])
+            keep = polygon.bbox.contains_many(clons, clats)
+            pos, clons, clats = pos[keep], clons[keep], clats[keep]
+            n_bbox_hits += len(pos)
+            # Answered candidates survive without a point-in-polygon
+            # test (they are inside the old perimeter); the rest run
+            # the exact batch kernel on the same contiguous coords.
+            if len(prev_pos):
+                ins = np.minimum(np.searchsorted(prev_pos, pos),
+                                 len(prev_pos) - 1)
+                answered = prev_pos[ins] == pos
+            else:
+                answered = np.zeros(len(pos), dtype=bool)
+            n_pip_tests = int((~answered).sum())
+            if n_pip_tests:
+                inside = polygon.contains_many(clons[~answered],
+                                               clats[~answered])
+                pieces.append(pos[~answered][inside])
+            pieces.append(pos[answered])
+        STATS.count("index.hits", n_bbox_hits)
+
+        out_pos = np.concatenate(pieces) if pieces \
+            else np.empty(0, dtype=np.int64)
+        out_pos.sort()
+        # Batch output order is ascending CSR position (runs are
+        # disjoint ascending intervals), so the sorted union reproduces
+        # it bit-for-bit.
+        out = self._order[out_pos]
+        STATS.count("index.polygon_queries")
+        STATS.count("index.pip_tests", n_pip_tests)
+        STATS.count("index.pip_skipped", len(prev_hits))
+        STATS.count("index.pip_hits", len(out))
+        return out
+
     def query_radius(self, lon: float, lat: float, radius_deg: float) \
             -> np.ndarray:
-        """Indices of points within ``radius_deg`` (planar degrees)."""
+        """Indices of points within ``radius_deg`` (planar degrees).
+
+        Runs on the CSR candidate-run fast path: the distance test
+        consumes the contiguous bucket-sorted coordinates the bbox
+        prefilter already gathered, instead of re-gathering the
+        original point arrays candidate by candidate.
+        """
         bbox = BBox(lon - radius_deg, lat - radius_deg,
                     lon + radius_deg, lat + radius_deg)
-        cand = self.query_bbox(bbox)
+        STATS.count("index.bbox_queries")
+        runs = self._candidate_runs(bbox)
+        if runs is None:
+            return np.empty(0, dtype=np.int64)
+        starts, ends, _ = runs
+        cand, clons, clats = self._bbox_filtered(bbox, starts, ends)
         if len(cand) == 0:
             return cand
-        d = np.hypot(self.lons[cand] - lon, self.lats[cand] - lat)
+        d = np.hypot(clons - lon, clats - lat)
         return cand[d <= radius_deg]
 
 

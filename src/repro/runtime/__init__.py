@@ -35,6 +35,7 @@ from .config import (
 from .dispatch import (
     classify_workers,
     cpu_budget,
+    delta_workers,
     overlay_workers,
     use_shared_memory,
 )
@@ -57,7 +58,7 @@ __all__ = [
     "chunk_spans", "parallel_map",
     "active_pools", "get_pool", "run_tasks", "shutdown_pools",
     "cpu_budget", "overlay_workers", "classify_workers",
-    "use_shared_memory",
+    "delta_workers", "use_shared_memory",
     "ShmField", "ShmHandle", "share_arrays", "attach_arrays",
     "release_segments", "active_segments",
     "STATS", "PerfRegistry", "set_trace_channel", "trace_channel",

@@ -35,12 +35,15 @@ from . import config as _config
 __all__ = [
     "OVERLAY_WORK_FACTOR",
     "CLASSIFY_WORK_FACTOR",
+    "DELTA_WORK_FACTOR",
     "MIN_PARALLEL_FIRES",
+    "MIN_PARALLEL_DELTAS",
     "CPU_COUNT_OVERRIDE",
     "SHM_MIN_POINTS",
     "cpu_budget",
     "overlay_workers",
     "classify_workers",
+    "delta_workers",
     "use_shared_memory",
 ]
 
@@ -55,9 +58,19 @@ OVERLAY_WORK_FACTOR = 12_288
 #: point than point-in-polygon, hence the larger implied universe.
 CLASSIFY_WORK_FACTOR = 4_096
 
+#: The delta overlay re-tests only dirty buckets, so per-fire work is a
+#: small fraction of a full perimeter join; a fork must amortize over
+#: correspondingly more nominal work before it can pay.  4x the overlay
+#: crossover keeps typical incident ticks (a handful of grown fronts)
+#: on the serial path, where they already finish in milliseconds.
+DELTA_WORK_FACTOR = 49_152
+
 #: The overlay shards by fire; fewer perimeters than this cannot feed
 #: more than one worker anything useful.
 MIN_PARALLEL_FIRES = 2
+
+#: Same for the delta overlay, in changed perimeters per tick.
+MIN_PARALLEL_DELTAS = 2
 
 #: Test hook / deployment override for the visible core count.
 #: ``None`` means trust ``os.cpu_count()``.
@@ -90,6 +103,23 @@ def overlay_workers(requested: int, n_points: int, n_fires: int) -> int:
     if n_points * n_fires < floor * OVERLAY_WORK_FACTOR:
         return 1
     return max(1, min(requested, cpu_budget(), n_fires))
+
+
+def delta_workers(requested: int, n_points: int, n_deltas: int) -> int:
+    """Workers to actually use for a delta (dirty-bucket) overlay tick.
+
+    Mirrors :func:`overlay_workers` with the delta crossover: below it
+    the tick runs serially on the exact same delta queries, so a small
+    dirty set never pays pool latency.
+    """
+    floor = _config.MIN_PARALLEL_POINTS
+    if requested <= 1 or n_points < floor:
+        return 1
+    if n_deltas < MIN_PARALLEL_DELTAS:
+        return 1
+    if n_points * n_deltas < floor * DELTA_WORK_FACTOR:
+        return 1
+    return max(1, min(requested, cpu_budget(), n_deltas))
 
 
 def classify_workers(requested: int, n_points: int,

@@ -1,0 +1,32 @@
+"""Incremental incident engine: live fire feeds over the static join.
+
+The batch pipeline answers "which transceivers did this season's
+perimeters cover?" once, from final perimeters.  ``repro.stream``
+answers the same question *while the fires are still moving*: an
+:class:`IncidentState` ingests perimeter snapshots tick by tick,
+routes only the changed fronts through
+:func:`repro.core.overlay.update_overlay` (delta queries over dirty
+grid buckets), and logs per-tick impact diffs — newly covered
+transceivers, newly exposed population — as a cumulative event
+stream.
+
+The engine is exact, not approximate: folding the ticks yields a
+result bit-identical to a from-scratch :func:`overlay_fires` on the
+final perimeters (pinned by ``tests/stream/``).
+"""
+
+from .incident import (
+    IncidentState,
+    StreamResult,
+    TickEvent,
+    run_scripted_incident,
+    write_events_jsonl,
+)
+
+__all__ = [
+    "IncidentState",
+    "StreamResult",
+    "TickEvent",
+    "run_scripted_incident",
+    "write_events_jsonl",
+]

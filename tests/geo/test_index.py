@@ -97,6 +97,155 @@ class TestUniformGridIndex:
         assert delta["counters"].get("index.bbox_queries", 0) == 2
 
 
+class TestQueryPolygonDelta:
+    """The dirty-bucket delta path vs the batch polygon query."""
+
+    OUTER = [(-108.0, 31.0), (-102.0, 33.0), (-104.0, 39.0),
+             (-109.0, 37.0)]
+
+    def _nested(self, fraction=0.6):
+        pts = np.asarray(self.OUTER, dtype=float)
+        center = pts.mean(axis=0)
+        inner = center + fraction * (pts - center)
+        return Polygon([tuple(p) for p in inner]), Polygon(self.OUTER)
+
+    def test_bit_identical_to_batch(self, index):
+        inner, outer = self._nested()
+        prev = index.query_polygon(inner)
+        assert len(prev) > 0
+        got = index.query_polygon_delta(outer, prev)
+        want = index.query_polygon(outer)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)     # values AND order
+
+    def test_empty_prev_matches_batch(self, index):
+        _, outer = self._nested()
+        got = index.query_polygon_delta(
+            outer, np.empty(0, dtype=np.int64))
+        want = index.query_polygon(outer)
+        assert np.array_equal(got, want)
+
+    def test_identity_growth(self, index):
+        """prev == the polygon's own answer: result unchanged."""
+        _, outer = self._nested()
+        prev = index.query_polygon(outer)
+        got = index.query_polygon_delta(outer, prev)
+        assert np.array_equal(got, prev)
+
+    def test_disjoint_polygon(self, index):
+        poly = Polygon([(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)])
+        got = index.query_polygon_delta(
+            poly, np.empty(0, dtype=np.int64))
+        assert len(got) == 0
+
+    def test_counter_parity_with_batch(self, index):
+        from repro.runtime.stats import STATS
+
+        inner, outer = self._nested()
+        prev = index.query_polygon(inner)
+
+        before = STATS.snapshot()
+        index.query_polygon(outer)
+        full = STATS.delta_since(before)["counters"]
+
+        before = STATS.snapshot()
+        index.query_polygon_delta(outer, prev)
+        delta = STATS.delta_since(before)["counters"]
+
+        for key in ("index.bbox_queries", "index.polygon_queries",
+                    "index.candidates", "index.hits",
+                    "index.pip_hits"):
+            assert delta.get(key, 0) == full.get(key, 0), key
+        # Only the unanswered candidates pay a point-in-polygon test;
+        # the skipped tests are exactly the answered footprint.
+        assert delta.get("index.pip_skipped", 0) == len(prev)
+        assert delta.get("index.pip_tests", 0) + len(prev) \
+            == full.get("index.pip_tests", 0)
+        assert delta.get("index.pip_tests", 0) \
+            < full.get("index.pip_tests", 0)
+        assert delta.get("index.delta_queries", 0) == 1
+        assert full.get("index.delta_queries", 0) == 0
+
+    def test_bucket_accounting(self, index):
+        from repro.runtime.stats import STATS
+
+        inner, outer = self._nested()
+        prev = index.query_polygon(inner)
+        before = STATS.snapshot()
+        index.query_polygon_delta(outer, prev)
+        counters = STATS.delta_since(before)["counters"]
+        dirty = counters.get("index.dirty_buckets", 0)
+        skipped = counters.get("index.skipped_buckets", 0)
+        assert dirty > 0
+        # dirty + skipped covers exactly the occupied candidate
+        # buckets of the grown perimeter's bbox window.
+        _, _, nbuckets = index._candidate_runs(outer.bbox)
+        assert dirty + skipped == int(nbuckets.sum())
+
+    def test_random_growth_sequences(self, points, index, rng):
+        """Chained delta queries track batch across random growth."""
+        lons, lats = points
+        for _ in range(5):
+            cx = rng.uniform(-108, -102)
+            cy = rng.uniform(32, 38)
+            pts = np.asarray(self.OUTER, dtype=float)
+            pts = np.array([cx, cy]) + 0.4 * (pts - pts.mean(axis=0))
+            fractions = sorted(rng.uniform(0.2, 1.0, size=4))
+            prev = None
+            for f in fractions:
+                ring = np.array([cx, cy]) \
+                    + f * (pts - np.array([cx, cy]))
+                poly = Polygon([tuple(p) for p in ring])
+                if prev is None:
+                    prev = index.query_polygon(poly)
+                else:
+                    prev = index.query_polygon_delta(poly, prev)
+                want = np.nonzero(
+                    poly.contains_many(lons, lats))[0]
+                assert np.array_equal(np.sort(prev), want)
+
+
+class TestQueryRadiusCounters:
+    """query_radius on the CSR fast path: counter + result parity."""
+
+    def test_counts_match_bbox_prefilter(self, points, index):
+        from repro.runtime.stats import STATS
+
+        lon, lat, r = -105.0, 35.0, 1.0
+        before = STATS.snapshot()
+        got = index.query_radius(lon, lat, r)
+        counters = STATS.delta_since(before)["counters"]
+
+        bbox = BBox(lon - r, lat - r, lon + r, lat + r)
+        starts, ends, _ = index._candidate_runs(bbox)
+        n_cand = int((ends - starts).sum())
+        lons, lats = points
+        in_box = int(bbox.contains_many(lons, lats).sum())
+        assert counters.get("index.bbox_queries", 0) == 1
+        assert counters.get("index.candidates", 0) == n_cand
+        assert counters.get("index.hits", 0) == in_box
+        assert len(got) <= in_box
+
+    def test_disjoint_radius_counts_query(self, index):
+        from repro.runtime.stats import STATS
+
+        before = STATS.snapshot()
+        got = index.query_radius(50.0, 50.0, 1.0)
+        counters = STATS.delta_since(before)["counters"]
+        assert len(got) == 0
+        assert counters.get("index.bbox_queries", 0) == 1
+
+    def test_radius_order_matches_bbox_path(self, index):
+        """Same output order as filtering the bbox query (the old
+        implementation), so the fast path is a drop-in."""
+        lon, lat, r = -105.0, 35.0, 2.0
+        got = index.query_radius(lon, lat, r)
+        cand = index.query_bbox(BBox(lon - r, lat - r,
+                                     lon + r, lat + r))
+        d = np.hypot(index.lons[cand] - lon, index.lats[cand] - lat)
+        assert np.array_equal(got, cand[d <= r])
+
+
 class TestSTRTree:
     def _boxes(self, rng, n=200):
         out = []

@@ -37,6 +37,7 @@ def _small_parallel_floor(monkeypatch):
     monkeypatch.setattr(runtime_config, "MIN_PARALLEL_POINTS", 64)
     monkeypatch.setattr(runtime_dispatch, "OVERLAY_WORK_FACTOR", 1)
     monkeypatch.setattr(runtime_dispatch, "CLASSIFY_WORK_FACTOR", 1)
+    monkeypatch.setattr(runtime_dispatch, "DELTA_WORK_FACTOR", 1)
     monkeypatch.setattr(runtime_dispatch, "CPU_COUNT_OVERRIDE", 8)
     yield
     shutdown_pools()
@@ -228,6 +229,98 @@ def test_overlay_counter_totals_serial_vs_parallel():
     assert serial_counters == parallel_counters
     if after.get("parallel.fallbacks", 0) == 0:
         # the pool genuinely ran: the parity above covered the merge
+        assert after.get("parallel.pool_runs", 0) >= 1
+
+
+def growth_pair(seed: int, k: int):
+    """(shrunken, grown) perimeter lists for the same k fires.
+
+    Each shrunken fire is the grown one scaled about its generation
+    center, so growth is monotone — the delta-query contract.
+    """
+    from repro.data.wildfires import interpolated_perimeter
+
+    rng = np.random.default_rng(seed + 1000)
+    prev, grown = [], []
+    for i in range(k):
+        lon = rng.uniform(-111.0, -105.0)
+        lat = rng.uniform(34.0, 40.0)
+        acres = float(rng.uniform(50_000, 2_000_000))
+        poly = star_polygon(lon, lat, acres, rng)
+        fire = FirePerimeter(
+            name=f"Fire-{seed}-{i}", year=2018, start_doy=150 + i,
+            end_doy=160 + i, acres=acres, polygon=poly)
+        grown.append(fire)
+        prev.append(interpolated_perimeter(fire, lon, lat, 0.6))
+    return prev, grown
+
+
+def test_update_counter_totals_delta_vs_full():
+    """The delta tick accounts for exactly the batch join's work."""
+    from repro.core.overlay import FireDelta, update_overlay
+    from repro.runtime import STATS
+
+    cells = random_universe(6, 3_000)
+    prev_fires, grown = growth_pair(6, 6)
+    cells.index()
+
+    prev = overlay_fires(cells, prev_fires, year=2018, workers=1,
+                         use_cache=False, keep_hits=True)
+
+    before = STATS.snapshot()
+    full = overlay_fires(cells, grown, year=2018, workers=1,
+                         use_cache=False)
+    full_counters = _index_counters(before)
+
+    before = STATS.snapshot()
+    updated = update_overlay(cells, prev,
+                             [FireDelta(fire=f) for f in grown],
+                             workers=1)
+    delta_counters = _index_counters(before)
+
+    assert_identical(updated, full)
+    for key in ("index.bbox_queries", "index.polygon_queries",
+                "index.candidates", "index.hits", "index.pip_hits"):
+        assert delta_counters.get(key, 0) \
+            == full_counters.get(key, 0), key
+    n_prev = sum(len(h) for h in prev.per_fire_hits.values())
+    assert delta_counters.get("index.pip_skipped", 0) == n_prev
+    assert delta_counters.get("index.pip_tests", 0) + n_prev \
+        == full_counters.get("index.pip_tests", 0)
+    assert delta_counters.get("index.delta_queries", 0) == len(grown)
+    assert full_counters.get("index.delta_queries", 0) == 0
+
+
+def test_update_counter_totals_serial_vs_parallel():
+    """Pool-dispatched delta ticks merge every worker counter back."""
+    from repro.core.overlay import FireDelta, update_overlay
+    from repro.runtime import STATS
+
+    cells = random_universe(9, 3_000)
+    prev_fires, grown = growth_pair(9, 8)
+    cells.index()
+    prev = overlay_fires(cells, prev_fires, year=2018, workers=1,
+                         use_cache=False, keep_hits=True)
+    deltas = [FireDelta(fire=f) for f in grown]
+
+    before = STATS.snapshot()
+    serial = update_overlay(cells, prev, deltas, workers=1)
+    serial_counters = _index_counters(before)
+
+    shutdown_pools()
+    before = STATS.snapshot()
+    parallel = update_overlay(cells, prev, deltas, workers=4)
+    after = STATS.delta_since(before)["counters"]
+    parallel_counters = {k: v for k, v in after.items()
+                         if k.startswith("index.")}
+
+    assert_identical(serial, parallel)
+    for name in serial.per_fire_hits:
+        assert np.array_equal(serial.per_fire_hits[name],
+                              parallel.per_fire_hits[name])
+    assert serial_counters, "serial tick must exercise the index"
+    assert serial_counters == parallel_counters
+    if after.get("parallel.fallbacks", 0) == 0:
         assert after.get("parallel.pool_runs", 0) >= 1
 
 

@@ -1,0 +1,248 @@
+"""Tests for the incident engine: growth driver, state, CLI stage."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.data.wildfires import (
+    interpolated_perimeter,
+    scripted_2019_fires,
+    scripted_2019_growth,
+)
+from repro.runtime import STATS, shutdown_pools
+from repro.stream import (
+    IncidentState,
+    TickEvent,
+    run_scripted_incident,
+    write_events_jsonl,
+)
+
+from ..runtime.test_differential import random_universe
+
+
+@pytest.fixture(autouse=True)
+def _pools():
+    yield
+    shutdown_pools()
+
+
+class TestInterpolatedPerimeter:
+    def test_fraction_validation(self):
+        fire = scripted_2019_fires()[0]
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                interpolated_perimeter(fire, -120.0, 38.0, bad)
+
+    def test_full_fraction_returns_original(self):
+        fire = scripted_2019_fires()[0]
+        assert interpolated_perimeter(fire, -120.0, 38.0, 1.0) is fire
+
+    def test_area_scales_quadratically(self):
+        fire = scripted_2019_fires()[0]
+        half = interpolated_perimeter(fire, -122.0, 38.0, 0.5)
+        assert half.acres == pytest.approx(fire.acres * 0.25)
+        assert half.name == fire.name
+
+    def test_scaled_ring_contained_in_original(self):
+        fire = scripted_2019_fires()[0]
+        c = fire.polygon.centroid()
+        small = interpolated_perimeter(fire, c.lon, c.lat, 0.5)
+        ring = small.polygon.exterior
+        assert fire.polygon.contains_many(ring[:, 0],
+                                          ring[:, 1]).all()
+
+
+class TestScriptedGrowth:
+    def test_needs_two_ticks(self):
+        with pytest.raises(ValueError):
+            scripted_2019_growth(1)
+
+    def test_final_tick_bit_identical_to_static(self):
+        growth = scripted_2019_growth(8)
+        static = scripted_2019_fires()
+        assert len(growth[-1]) == len(static)
+        for grown, fire in zip(growth[-1], static):
+            assert grown.name == fire.name
+            assert grown.polygon.exterior.tobytes() \
+                == fire.polygon.exterior.tobytes()
+            assert grown.acres == fire.acres
+
+    @pytest.mark.parametrize("n_ticks", [2, 5, 8, 12])
+    def test_final_tick_stable_across_tick_counts(self, n_ticks):
+        final = scripted_2019_growth(n_ticks)[-1]
+        static = scripted_2019_fires()
+        for grown, fire in zip(final, static):
+            assert grown.polygon.exterior.tobytes() \
+                == fire.polygon.exterior.tobytes()
+
+    def test_ignition_schedule_follows_start_doy(self):
+        """Fires appear in start-day order along the tick axis."""
+        growth = scripted_2019_growth(8)
+        first_tick = {}
+        for t, snap in enumerate(growth):
+            for f in snap:
+                first_tick.setdefault(f.name, t)
+        static = {f.name: f for f in scripted_2019_fires()}
+        names = sorted(first_tick, key=first_tick.get)
+        doys = [static[n].start_doy for n in names]
+        assert doys == sorted(doys)
+        # Saddle Ridge (doy 283) burns from tick 0.
+        assert first_tick["Saddle Ridge"] == 0
+
+    def test_growth_is_monotone(self):
+        """Every snapshot's ring lies inside the next snapshot."""
+        growth = scripted_2019_growth(6)
+        prev = {}
+        for snap in growth:
+            for f in snap:
+                if f.name in prev:
+                    ring = prev[f.name].polygon.exterior
+                    if ring.tobytes() \
+                            != f.polygon.exterior.tobytes():
+                        assert f.polygon.contains_many(
+                            ring[:, 0], ring[:, 1]).all(), f.name
+                prev[f.name] = f
+
+    def test_acreage_is_nondecreasing(self):
+        growth = scripted_2019_growth(8)
+        acres = {}
+        for snap in growth:
+            for f in snap:
+                assert f.acres >= acres.get(f.name, 0.0)
+                acres[f.name] = f.acres
+
+
+class TestIncidentState:
+    def _fires(self, seed=0, k=3):
+        from ..runtime.test_differential import random_fires
+        return random_fires(seed, k)
+
+    def test_tick_event_accounting(self):
+        cells = random_universe(1, 3_000)
+        fires = self._fires(1, 3)
+        state = IncidentState(cells, year=2018)
+        event = state.ingest(fires)
+        assert isinstance(event, TickEvent)
+        assert event.tick == 0
+        assert event.ignited == tuple(f.name for f in fires)
+        assert event.changed == ()
+        assert event.cum_impacted \
+            == int(state.result.in_perimeter_mask.sum())
+        assert event.new_impacted == event.cum_impacted
+        assert event.per_fire_new == state.result.per_fire_counts
+
+    def test_unchanged_snapshot_is_noop(self):
+        cells = random_universe(2, 2_000)
+        fires = self._fires(2, 3)
+        state = IncidentState(cells, year=2018)
+        state.ingest(fires)
+        result_before = state.result
+        before = STATS.snapshot()
+        event = state.ingest(list(fires))       # same rings, new list
+        counters = STATS.delta_since(before)["counters"]
+        assert state.result is result_before    # update_overlay no-op
+        assert event.changed == () and event.ignited == ()
+        assert event.new_impacted == 0
+        assert event.new_population == 0.0
+        assert counters.get("index.polygon_queries", 0) == 0
+
+    def test_cumulative_fields_accumulate(self):
+        cells = random_universe(3, 3_000)
+        from ..runtime.test_differential import growth_pair
+        prev_fires, grown = growth_pair(3, 3)
+        state = IncidentState(cells, year=2018)
+        first = state.ingest(prev_fires)
+        second = state.ingest(grown)
+        assert second.tick == 1
+        assert second.ignited == ()
+        assert second.changed == tuple(f.name for f in grown)
+        assert second.cum_impacted \
+            == first.cum_impacted + second.new_impacted
+        assert second.new_impacted >= 0
+        assert second.dirty_buckets > 0
+
+    def test_events_carry_no_wall_times(self):
+        """TickEvent is a pure function of the snapshots."""
+        fields = set(TickEvent.__dataclass_fields__)
+        assert not any("time" in f or "seconds" in f for f in fields)
+
+
+class TestScriptedIncident:
+    def test_final_state_matches_batch_season(self, universe):
+        from repro.core.overlay import overlay_fires
+
+        res = run_scripted_incident(universe, n_ticks=4)
+        season = universe.fire_season(2019)
+        batch = overlay_fires(universe.cells, season.fires, year=2019,
+                              use_cache=False)
+        assert res.final.in_perimeter_mask.tobytes() \
+            == batch.in_perimeter_mask.tobytes()
+        assert res.final.per_fire_counts == batch.per_fire_counts
+        assert res.final.n_fires == batch.n_fires
+        assert len(res.events) == 4
+        assert res.events[-1].cum_impacted == batch.n_in_perimeter
+
+    def test_population_exposure_is_monotone(self, universe):
+        res = run_scripted_incident(universe, n_ticks=4)
+        cums = [e.cum_population for e in res.events]
+        assert all(b >= a for a, b in zip(cums, cums[1:]))
+        assert cums[-1] > 0
+
+
+class TestJsonlExport:
+    def _events(self):
+        cells = random_universe(4, 1_500)
+        from ..runtime.test_differential import growth_pair
+        prev_fires, grown = growth_pair(4, 2)
+        state = IncidentState(cells, year=2018)
+        state.ingest(prev_fires)
+        state.ingest(grown)
+        return state.events
+
+    def test_roundtrip_and_schema(self, tmp_path):
+        events = self._events()
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(events, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(events)
+        for line, event in zip(lines, events):
+            doc = json.loads(line)
+            assert doc["schema"] == "stream-event/1"
+            assert doc["tick"] == event.tick
+            assert doc["cum_impacted"] == event.cum_impacted
+
+    def test_export_is_byte_deterministic(self, tmp_path):
+        events = self._events()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_events_jsonl(events, a)
+        write_events_jsonl(events, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestStreamCli:
+    def _run(self, *argv: str) -> str:
+        from repro.cli import main
+        buffer = io.StringIO()
+        code = main(["-n", "20000", "--whp-res", "0.1", *argv],
+                    stream=buffer)
+        assert code == 0
+        return buffer.getvalue()
+
+    def test_stream_stage_renders_ticks(self):
+        out = self._run("stream", "--ticks", "3")
+        assert "incident stream" in out
+        assert "Dirty" in out and "Tick" in out
+
+    def test_stream_stage_exports_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        out = self._run("stream", "--ticks", "3", "--jsonl", str(path))
+        assert "incident stream" in out
+        docs = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert len(docs) == 3
+        assert [d["tick"] for d in docs] == [0, 1, 2]
+        cums = [d["cum_impacted"] for d in docs]
+        assert cums == sorted(cums)
