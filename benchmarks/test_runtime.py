@@ -332,6 +332,87 @@ def test_runtime_stream_tick(universe):
         f"a tick must be >=10x faster than a rebuild ({speedup:.1f}x)"
 
 
+def test_runtime_scenario_ensemble(universe):
+    """N-member scenario ensemble through the persistent pool.
+
+    Each member of a grid-ignition ensemble is one whole-task fire
+    list shipped to the warm universe pool — the scenario tentpole's
+    claim is that members parallelize.  Serial is measured as the sum
+    of one-member joins; the pooled wall (after a warm-up round that
+    pays fork+init) must land well under it when the pool genuinely
+    engaged.
+    """
+    from repro.hazard import GridIgnitedFireHazard
+    from repro.hazard.scenarios import ensemble_impacts
+
+    cells = universe.cells
+    cells.index()
+    workers = int(os.environ.get("REPRO_WORKERS", "4"))
+    # The catalog's grid-ignition hazard at bench weight: enough events
+    # per member that the join dwarfs task transport, so the measured
+    # ratio reflects parallelization, not pickling.
+    hazard = GridIgnitedFireHazard(n_events=1500,
+                                   total_acres=40_000_000.0)
+    year = hazard.default_year
+    n_members = 6
+    member_events = [hazard.ensemble_member(universe, year, m)
+                     for m in range(n_members)]
+
+    serial_times = []
+    serial_impacts = []
+    for events in member_events:
+        impacts, spent = _timed(
+            ensemble_impacts, universe, [events], year, workers=1)
+        serial_times.append(spent)
+        serial_impacts.extend(impacts)
+    serial_s = sum(serial_times)
+
+    shutdown_pools()
+    try:
+        # Warm-up pays the fork+init; the measured round ships only
+        # member tasks to live workers.
+        ensemble_impacts(universe, member_events, year,
+                         workers=workers)
+        before = STATS.snapshot()
+        pooled_impacts, wall_s = _timed(
+            ensemble_impacts, universe, member_events, year,
+            workers=workers)
+        delta = STATS.delta_since(before)["counters"]
+    finally:
+        shutdown_pools()
+
+    assert pooled_impacts == serial_impacts, \
+        "pooled ensemble must match the serial joins bit for bit"
+
+    eff_workers = max(1, min(workers, n_members))
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cores = os.cpu_count() or 1
+    fell_back = delta.get("parallel.fallbacks", 0) > 0
+    speedup = serial_s / max(wall_s, 1e-9)
+    record_timing(
+        "scenario_ensemble",
+        hazard=hazard.name, members=n_members,
+        n_events_per_member=hazard.n_events,
+        n_points=len(cells), workers=workers,
+        eff_workers=eff_workers, cores=cores, fell_back=fell_back,
+        serial_s=serial_s, wall_s=wall_s, speedup=speedup,
+        mean_impacted=sum(pooled_impacts) / n_members)
+    print_result(
+        "RUNTIME — scenario ensemble",
+        f"{n_members} members x {hazard.n_events} events: serial sum "
+        f"{serial_s:.3f}s vs pooled wall {wall_s:.3f}s "
+        f"(x{workers}->{eff_workers}, {cores} cores) -> "
+        f"{speedup:.1f}x{' [FELL BACK]' if fell_back else ''}")
+    if eff_workers >= 2 and cores >= 2 and not fell_back:
+        # Members must genuinely parallelize; on a single-core box
+        # (or after a pool fallback) only the bit-equality above is
+        # checkable.
+        assert wall_s < 0.7 * serial_s, \
+            f"ensemble members must parallelize ({speedup:.2f}x)"
+
+
 def test_runtime_session_reuse(universe):
     """In-session artifact memo vs recomputing per analysis.
 

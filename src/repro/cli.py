@@ -112,7 +112,7 @@ def _run_map(session: AnalysisSession, args: argparse.Namespace) -> str:
 
 
 register_stage("map", help="ASCII map of a figure",
-               paper="Figures 2-6", run=_run_map,
+               paper="Figures 2-6", run=_run_map, domain="figures",
                options=(StageOption("--figure", type=int, default=6,
                                     choices=(2, 3, 4, 6),
                                     help="figure number"),
@@ -137,6 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
             kwargs["help"] = opt.help
         if opt.choices is not None:
             kwargs["choices"] = opt.choices
+        if opt.nargs is not None:
+            kwargs["nargs"] = opt.nargs
         parser.add_argument(opt.flag, **kwargs)
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for spatial joins "
@@ -179,6 +181,8 @@ def build_parser() -> argparse.ArgumentParser:
                 kwargs["help"] = opt.help
             if opt.choices is not None:
                 kwargs["choices"] = opt.choices
+            if opt.nargs is not None:
+                kwargs["nargs"] = opt.nargs
             stage_parser.add_argument(opt.flag, **kwargs)
 
     sub.add_parser("list", help="show the stage registry")
@@ -340,7 +344,9 @@ def _finalize_ledger(args: argparse.Namespace, state: dict,
         universe={"n_transceivers": args.transceivers,
                   "seed": args.seed,
                   "whp_resolution_deg": args.whp_res,
-                  "scale": getattr(args, "scale", None)},
+                  "scale": getattr(args, "scale", None),
+                  "hazard": getattr(args, "hazard", None),
+                  "scenario": getattr(args, "scenario", None)},
         timers=delta["timers"],
         timer_calls=delta["timer_calls"],
         counters=delta["counters"],

@@ -134,4 +134,5 @@ def _export_figure5(session, ctx) -> dict:
 
 register_stage("fig5", help="2019 case study (Figure 5)",
                paper="Figure 5", artifact="case_study",
-               render="render_figure5", order=40, export=_export_figure5)
+               render="render_figure5", order=40, domain="figures",
+               export=_export_figure5)

@@ -108,4 +108,4 @@ def _county_exposure_artifact(
 
 register_stage("counties", help="chronically-exposed counties",
                paper="§3.3", artifact="county_exposure",
-               render="render_counties")
+               render="render_counties", domain="infrastructure")

@@ -213,4 +213,5 @@ def _coverage_artifact(
 
 register_stage("coverage", help="coverage loss (S3.11)",
                paper="§3.11", artifact="coverage",
-               render="render_coverage", order=140)
+               render="render_coverage", order=140,
+               domain="infrastructure")

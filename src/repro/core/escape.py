@@ -135,4 +135,5 @@ def _escape_artifact(session, model: EscapeModel | None = None,
 
 
 register_stage("escape", help="escape-adjusted risk (HOT model)",
-               paper="§3.11", artifact="escape", render="render_escape")
+               paper="§3.11", artifact="escape", render="render_escape",
+               domain="infrastructure")

@@ -168,7 +168,7 @@ def _export_extension(session, ctx) -> dict:
 
 register_stage("extend", help="very-high buffer extension (S3.8)",
                paper="§3.8", artifact="extension",
-               render="render_extension", order=120,
+               render="render_extension", order=120, domain="validation",
                options=(StageOption("--radius-miles", type=float,
                                     default=0.5),),
                params=("radius_miles",), export=_export_extension)

@@ -106,5 +106,5 @@ def _export_ecoregions(session, ctx) -> dict:
 
 register_stage("ecoregions", help="SLC-Denver projections (Figs 14-15)",
                paper="Figures 14-15", artifact="future_risk",
-               render="render_ecoregions", order=100,
+               render="render_ecoregions", order=100, domain="figures",
                export=_export_ecoregions)

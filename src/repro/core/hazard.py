@@ -88,10 +88,10 @@ def hazard_analysis(universe: SyntheticUS) -> HazardSummary:
     return session_of(universe).artifact("hazard")
 
 
-def _compute_hazard(session) -> HazardSummary:
+def _compute_hazard(session, hazard: str = "wildfire") -> HazardSummary:
     universe = session.universe
     cells = universe.cells
-    classes = session.artifact("whp_classes")
+    classes = session.artifact("whp_classes", hazard=hazard)
     scale = universe.universe_scale
 
     class_counts_raw = {}
@@ -159,9 +159,14 @@ def _population_served(session, summary: HazardSummary) -> int:
 # ----------------------------------------------------------------------
 
 @artifact("hazard", deps=("whp_classes",))
-def _hazard_artifact(session) -> HazardSummary:
-    """National + per-state WHP hazard summary (Figures 7-9)."""
-    return _compute_hazard(session)
+def _hazard_artifact(session, hazard: str = "wildfire") -> HazardSummary:
+    """National + per-state intensity-class summary (Figures 7-9).
+
+    ``hazard`` selects the intensity surface the per-transceiver
+    classes come from; non-wildfire surfaces reuse the same ordinal
+    0-5 aggregation (class names stay the WHP vocabulary).
+    """
+    return _compute_hazard(session, hazard=hazard)
 
 
 @artifact("population_served", deps=("hazard", "county_assignment"))
@@ -195,10 +200,12 @@ def _export_figure8(session, ctx) -> dict:
 
 register_stage("fig7", help="WHP hazard counts (Figure 7)",
                paper="Figure 7", artifact="hazard",
-               render="render_figure7", order=50, export=_export_figure7)
+               render="render_figure7", order=50, domain="figures",
+               export=_export_figure7)
 register_stage("fig8", help="top states (Figure 8)",
                paper="Figure 8", artifact="hazard",
-               render="render_figure8", order=60, export=_export_figure8)
+               render="render_figure8", order=60, domain="figures",
+               export=_export_figure8)
 register_stage("fig9", help="per-capita risk (Figure 9)",
                paper="Figure 9", artifact="hazard",
-               render="render_figure9", order=70)
+               render="render_figure9", order=70, domain="figures")

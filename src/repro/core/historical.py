@@ -105,4 +105,5 @@ def _export_table1(session, ctx) -> dict:
 
 register_stage("table1", help="historical analysis (Table 1)",
                paper="Table 1", artifact="table1",
-               render="render_table1", order=10, export=_export_table1)
+               render="render_table1", order=10, domain="tables",
+               export=_export_table1)

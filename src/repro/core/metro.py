@@ -169,5 +169,5 @@ def _export_figure12(session, ctx) -> dict:
 
 register_stage("fig12", help="metro ranking (Figure 12)",
                paper="Figure 12", artifact="metro_risk",
-               render="render_figure12", order=90,
+               render="render_figure12", order=90, domain="figures",
                export=_export_figure12)

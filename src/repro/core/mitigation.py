@@ -173,4 +173,4 @@ def _site_ranking_artifact(session) -> list[SiteRisk]:
 
 register_stage("mitigation", help="site hardening ranking (S3.10)",
                paper="§3.10", artifact="site_ranking",
-               render="render_mitigation")
+               render="render_mitigation", domain="infrastructure")

@@ -1,10 +1,20 @@
-"""Spatial-join engine: transceivers × fire perimeters / rasters.
+"""Spatial-join engine: transceivers × hazard footprints / rasters.
 
 This is the computational heart of the paper's methodology (§2.3):
 "identifying cell transceiver locations that fall within the perimeters
 of all historical wildfires".  The engine joins a point universe against
 polygon sets using the uniform-grid index (bbox candidates, then exact
 point-in-polygon), and against rasters by vectorized sampling.
+
+The engine is hazard-agnostic: it consumes events through the
+structural :class:`~repro.hazard.base.HazardEvent` shape (``name`` /
+``year`` / ``polygon``) and intensity surfaces through
+:class:`~repro.hazard.base.IntensitySurface` (``classify`` /
+``content_token``), resolved from the hazard registry by the session
+artifacts' canonical ``hazard=`` parameter (default ``"wildfire"`` —
+the paper's peril, byte-identical to the pre-protocol path).  The
+``fire``/``whp`` vocabulary below is kept for the dominant instance;
+nothing in the code requires fire-shaped inputs.
 
 Execution is delegated to :mod:`repro.runtime`:
 
@@ -31,14 +41,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from ..data.cells import CellUniverse
 from ..data.packed import unpack_index
-from ..data.whp import WhpModel
-from ..data.wildfires import FirePerimeter
 from ..geo.index import UniformGridIndex
 from ..runtime import (
     cache_key,
@@ -55,6 +64,9 @@ from ..runtime import shm as _shm
 from ..obs.trace import span as trace_span
 from ..runtime.stats import STATS
 from ..session import StageOption, artifact, register_stage
+
+if TYPE_CHECKING:
+    from ..hazard.base import HazardEvent, IntensitySurface
 
 __all__ = ["FireOverlayResult", "FireDelta", "overlay_fires",
            "overlay_fires_bruteforce", "update_overlay", "empty_overlay",
@@ -106,16 +118,16 @@ class FireDelta:
     name is an **ignition** and joins the season.
     """
 
-    fire: FirePerimeter
+    fire: HazardEvent
 
 
-# Per-perimeter content digests, memoized for the life of the fire
+# Per-event content digests, memoized for the life of the event
 # object.  Keyed weakly so discarded seasons do not pin their digests;
-# FirePerimeter is frozen, so content cannot drift under the memo.
+# event dataclasses are frozen, so content cannot drift under the memo.
 _FIRE_TOKENS: WeakKeyDictionary = WeakKeyDictionary()
 
 
-def _fire_token(fire: FirePerimeter) -> bytes:
+def _fire_token(fire: HazardEvent) -> bytes:
     token = _FIRE_TOKENS.get(fire)
     if token is None:
         h = hashlib.sha256()
@@ -129,7 +141,7 @@ def _fire_token(fire: FirePerimeter) -> bytes:
     return token
 
 
-def fires_token(fires: list[FirePerimeter]) -> bytes:
+def fires_token(fires: list[HazardEvent]) -> bytes:
     """Content digest of a fire list (names, years, ring bytes).
 
     Per-fire digests are memoized, so the 19-year historical sweep stops
@@ -215,7 +227,7 @@ def _shared_handle(cells: CellUniverse):
     return _shm.share_arrays(pack.token, pack.arrays)
 
 
-def _overlay_fires_task(fires: list[FirePerimeter]):
+def _overlay_fires_task(fires: list[HazardEvent]):
     """Join a slice of the fire list against the worker-resident index.
 
     Returns per-fire hit counts (slice order), the concatenated global
@@ -286,7 +298,7 @@ def _classify_task(span: tuple[int, int]):
 # Public joins
 # ----------------------------------------------------------------------
 
-def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
+def overlay_fires(cells: CellUniverse, fires: list[HazardEvent],
                   year: int | None = None, *,
                   workers: int | None = None,
                   chunk_size: int | None = None,
@@ -346,7 +358,7 @@ def overlay_fires(cells: CellUniverse, fires: list[FirePerimeter],
     return result
 
 
-def _overlay_serial(cells: CellUniverse, fires: list[FirePerimeter],
+def _overlay_serial(cells: CellUniverse, fires: list[HazardEvent],
                     year: int, keep_hits: bool = False) \
         -> FireOverlayResult:
     index = cells.index()
@@ -365,7 +377,7 @@ def _overlay_serial(cells: CellUniverse, fires: list[FirePerimeter],
                              per_fire_hits=hits_map)
 
 
-def _overlay_parallel(cells: CellUniverse, fires: list[FirePerimeter],
+def _overlay_parallel(cells: CellUniverse, fires: list[HazardEvent],
                       year: int, workers: int,
                       keep_hits: bool = False) -> FireOverlayResult:
     """Fire-sharded parallel overlay on the persistent universe pool.
@@ -530,7 +542,7 @@ def _update_parallel(cells: CellUniverse, items: list,
 
 
 def overlay_fires_bruteforce(cells: CellUniverse,
-                             fires: list[FirePerimeter],
+                             fires: list[HazardEvent],
                              year: int | None = None, *,
                              keep_hits: bool = False) \
         -> FireOverlayResult:
@@ -557,7 +569,7 @@ def overlay_fires_bruteforce(cells: CellUniverse,
     )
 
 
-def classify_cells(cells: CellUniverse, whp: WhpModel, *,
+def classify_cells(cells: CellUniverse, whp: IntensitySurface, *,
                    workers: int | None = None,
                    chunk_size: int | None = None,
                    use_cache: bool | None = None) -> np.ndarray:
@@ -624,30 +636,58 @@ def classify_cells(cells: CellUniverse, whp: WhpModel, *,
 # ----------------------------------------------------------------------
 
 @artifact("whp_classes",
-          doc="WHP class code per transceiver (classify_cells)")
-def _whp_classes_artifact(session) -> np.ndarray:
+          doc="intensity class code per transceiver (classify_cells)")
+def _whp_classes_artifact(session, hazard: str = "wildfire") \
+        -> np.ndarray:
+    from ..hazard.registry import get_hazard
     universe = session.universe
-    return classify_cells(universe.cells, universe.whp)
+    # The wildfire instance returns universe.whp itself, so the default
+    # parameterization is byte-identical to the pre-protocol builder.
+    surface = get_hazard(hazard).intensity(universe)
+    return classify_cells(universe.cells, surface)
 
 
 @artifact("season_overlay",
-          doc="one year's transceiver x fire-perimeter join")
-def _season_overlay_artifact(session, year: int = 2019) \
+          doc="one year's transceiver x hazard-event join")
+def _season_overlay_artifact(session, year: int = 2019,
+                             hazard: str = "wildfire") \
         -> FireOverlayResult:
+    from ..hazard.registry import get_hazard
     universe = session.universe
-    return overlay_fires(universe.cells, universe.fire_season(year).fires,
-                         year=year)
+    # For "wildfire" the event list is the season's own fires list
+    # object, keeping the per-fire digest memo and cache keys intact.
+    events = get_hazard(hazard).event_set(universe, year).events
+    return overlay_fires(universe.cells, events, year=year)
 
 
-# Direct CLI surface for the raw perimeter join (the paper-scale smoke
+def _run_season_overlay(session, args) -> str:
+    from ..core.report import render_season_overlay
+    from ..hazard.registry import get_hazard
+    hazard = getattr(args, "hazard", None) or "wildfire"
+    try:
+        get_hazard(hazard)
+    except KeyError as exc:
+        raise SystemExit(f"repro season_overlay: {exc.args[0]}")
+    result = session.artifact("season_overlay",
+                              year=getattr(args, "year", None) or 2019,
+                              hazard=hazard)
+    return render_season_overlay(result)
+
+
+# Direct CLI surface for the raw event join (the paper-scale smoke
 # job drives it standalone).  ``order=None`` keeps it out of
 # ``repro all`` — the historical sweep already covers every season.
 register_stage("season_overlay",
-               help="one season's raw perimeter join",
+               help="one season's raw hazard-event join",
                paper="§2.3", artifact="season_overlay",
                render="render_season_overlay", order=None,
-               options=(StageOption("--year", type=int, default=2019),),
-               params=("year",))
+               domain="engine", run=_run_season_overlay,
+               options=(StageOption("--year", type=int, default=2019),
+                        StageOption("--hazard", type=str,
+                                    default="wildfire",
+                                    help="hazard instance to join "
+                                         "(wildfire/grid_fire/wind)")),
+               params=("year", "hazard"))
 
 
 # ----------------------------------------------------------------------

@@ -111,5 +111,5 @@ def _export_figure10(session, ctx) -> dict:
 
 register_stage("fig10", help="population impact (Figure 10)",
                paper="Figure 10", artifact="population_impact",
-               render="render_figure10", order=80,
+               render="render_figure10", order=80, domain="figures",
                export=_export_figure10)

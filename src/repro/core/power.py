@@ -194,10 +194,11 @@ def _psps_artifact(session,
 
 register_stage("power", help="power dependency (S3.11)",
                paper="§3.11", artifact="power_impact",
-               render="render_power", order=130,
+               render="render_power", order=130, domain="infrastructure",
                options=(StageOption("--year", type=int, default=2019),),
                params=("year",))
 
 
 register_stage("psps", help="PSPS shutoff exposure (S3.10-3.11)",
-               paper="§3.10", artifact="psps", render="render_psps")
+               paper="§3.10", artifact="psps", render="render_psps",
+               domain="infrastructure")

@@ -130,4 +130,5 @@ def _export_table2(session, ctx) -> dict:
 
 register_stage("table2", help="provider risk (Table 2)",
                paper="Table 2", artifact="provider_risk",
-               render="render_table2", order=20, export=_export_table2)
+               render="render_table2", order=20, domain="tables",
+               export=_export_table2)

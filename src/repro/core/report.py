@@ -48,6 +48,7 @@ __all__ = [
     "render_escape",
     "render_mitigation",
     "render_counties",
+    "render_scenario",
     "render_stream",
 ]
 
@@ -164,15 +165,43 @@ def render_span_tree(spans, *, min_ms: float = 0.0,
     return "\n".join(lines)
 
 
+#: Display order for stage domains in ``repro list``; unknown domains
+#: sort after these, alphabetically.
+_DOMAIN_ORDER = ("tables", "figures", "validation", "infrastructure",
+                 "engine", "hazards", "analysis")
+
+
 def render_stage_list(stages) -> str:
-    """``repro list``: the stage registry as a monospace table."""
-    body = []
+    """``repro list``: the stage registry grouped by domain.
+
+    One monospace table per domain (paper tables first, then figures,
+    validation, infrastructure, the engine stages, and hazards); the
+    ``In 'all'`` column marks stages ``repro all`` skips with ``-``
+    and a trailing footnote spells the convention out.
+    """
+    by_domain: dict = {}
     for stage in stages:
-        deps = ", ".join(stage.deps) if stage.artifact else "-"
-        in_all = "yes" if stage.order is not None else "-"
-        body.append([stage.name, stage.paper, in_all, deps])
-    return format_table(["Stage", "Paper", "In 'all'", "Artifacts"],
-                        body)
+        by_domain.setdefault(stage.domain, []).append(stage)
+    ordered = [d for d in _DOMAIN_ORDER if d in by_domain]
+    ordered += sorted(set(by_domain) - set(_DOMAIN_ORDER))
+
+    out = []
+    any_excluded = False
+    for domain in ordered:
+        body = []
+        for stage in by_domain[domain]:
+            deps = ", ".join(stage.deps) if stage.artifact else "-"
+            in_all = "yes" if stage.order is not None else "-"
+            any_excluded = any_excluded or stage.order is None
+            body.append([stage.name, stage.paper, in_all, deps])
+        out.append(f"[{domain}]")
+        out.append(format_table(["Stage", "Paper", "In 'all'",
+                                 "Artifacts"], body))
+        out.append("")
+    if any_excluded:
+        out.append("stages marked '-' run only on demand "
+                   "(excluded from 'repro all')")
+    return "\n".join(out).rstrip()
 
 
 def _when(iso: str) -> str:
@@ -249,6 +278,12 @@ def render_compare(diff: dict, *, min_seconds: float = 0.0) -> str:
         out.append(format_table(["Counter", "A", "B", "Δ"],
                                 counter_rows))
 
+    context = diff.get("context") or []
+    if context:
+        out.append("config changes:")
+        for key, av, bv in context:
+            out.append(f"  {key}: {av!r} -> {bv!r}")
+
     drift_lines = []
     for kind in ("outputs", "artifacts"):
         buckets = diff[kind]
@@ -259,7 +294,11 @@ def render_compare(diff: dict, *, min_seconds: float = 0.0) -> str:
         for name in buckets["removed"]:
             drift_lines.append(f"  - {kind[:-1]} {name}: only in A")
     if drift_lines:
-        out.append("drift:")
+        if context:
+            out.append("drift (expected: runs joined different "
+                       "hazards/scenarios, see config changes):")
+        else:
+            out.append("drift:")
         out.extend(drift_lines)
     else:
         out.append("drift: none (all shared checksums identical)")
@@ -389,6 +428,20 @@ def render_stream(result) -> str:
             f"{final.n_fires:,} fires, "
             f"{final.n_in_perimeter:,} transceivers in perimeters\n"
             + table)
+
+
+def render_scenario(result) -> str:
+    """Scenario ensemble summary: per-member impacts + distribution."""
+    rows = [[m.member, f"{m.n_events:,}", f"{m.total_acres:,.0f}",
+             f"{m.impacted:,}"] for m in result.members]
+    table = format_table(["Member", "Events", "Acres", "Tx impacted"],
+                         rows)
+    return (f"scenario {result.name!r} ({result.hazard}, "
+            f"{result.year}): {result.n_members} members\n"
+            + table
+            + f"\nimpacted tx: mean {result.mean_impacted:,.1f}, "
+              f"min {result.min_impacted:,}, "
+              f"max {result.max_impacted:,}")
 
 
 def render_figure5(summary: CaseStudySummary) -> str:

@@ -82,4 +82,5 @@ def _export_table3(session, ctx) -> dict:
 
 register_stage("table3", help="technology risk (Table 3)",
                paper="Table 3", artifact="technology_risk",
-               render="render_table3", order=30, export=_export_table3)
+               render="render_table3", order=30, domain="tables",
+               export=_export_table3)

@@ -157,6 +157,6 @@ def _export_validation(session, ctx) -> dict:
 
 register_stage("validate", help="2019 WHP validation (S3.4)",
                paper="§3.4", artifact="validation",
-               render="render_validation", order=110,
+               render="render_validation", order=110, domain="validation",
                options=(StageOption("--oversample", type=int, default=8),),
                params=("oversample",), export=_export_validation)

@@ -48,7 +48,8 @@ class PowerGrid:
     lines: np.ndarray
     #: substation index per cell site id (dict: site_id -> substation)
     site_substation: dict[int, int]
-    graph: "nx.Graph" = field(repr=False, default=None)
+    graph: "nx.Graph" = field(repr=False, default=None,
+                              metadata={"fingerprint": False})
 
     @property
     def n_substations(self) -> int:

@@ -1,0 +1,74 @@
+"""Pluggable hazards: the protocol, its instances, and the scenarios.
+
+The engine layers (:mod:`repro.core`, :mod:`repro.stream`) consume
+hazards only through :class:`~repro.hazard.base.Hazard` — an intensity
+surface the tiled classifier samples plus an event-set generator the
+overlay engine joins — and resolve them by *name* through the
+registry, so session artifacts carry a canonical ``hazard=`` parameter
+that distinguishes perils in memo keys, ledger labels, and manifests.
+
+Importing this package registers the built-in instances:
+
+=============  ==================================================
+``wildfire``   the paper's peril — WHP surface + GeoMAC-style
+               seasons, byte-identical to the pre-protocol path
+``grid_fire``  ignitions sampled along high-risk power-grid lines
+``wind``       severe-wind footprint swaths (non-fire, non-monotone)
+=============  ==================================================
+
+plus the named scenarios (``repro scenario NAME``); see
+``docs/hazards.md``.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    EventSet,
+    FootprintEvent,
+    Hazard,
+    HazardEvent,
+    IntensitySurface,
+)
+from .grid_fire import GridIgnitedFireHazard
+from .registry import (
+    get_hazard,
+    hazard_names,
+    iter_hazards,
+    register_hazard,
+)
+from .scenarios import (
+    MemberImpact,
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from .wildfire import WildfireHazard
+from .wind import WindFieldSurface, WindFootprintHazard
+
+__all__ = [
+    "EventSet",
+    "FootprintEvent",
+    "GridIgnitedFireHazard",
+    "Hazard",
+    "HazardEvent",
+    "IntensitySurface",
+    "MemberImpact",
+    "Scenario",
+    "ScenarioResult",
+    "WildfireHazard",
+    "WindFieldSurface",
+    "WindFootprintHazard",
+    "get_hazard",
+    "get_scenario",
+    "hazard_names",
+    "iter_hazards",
+    "register_hazard",
+    "run_scenario",
+    "scenario_names",
+]
+
+register_hazard(WildfireHazard())
+register_hazard(GridIgnitedFireHazard())
+register_hazard(WindFootprintHazard())

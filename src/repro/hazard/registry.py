@@ -1,0 +1,55 @@
+"""Name → :class:`~repro.hazard.base.Hazard` instance registry.
+
+Stages and session artifacts carry hazards as their *names* — short
+strings that canonicalize into memo keys, ledger labels, and run
+manifests — and resolve them here at build time.  The three built-in
+instances register on package import
+(:mod:`repro.hazard.__init__`); scenario variants construct hazards
+directly and never need the registry.
+"""
+
+from __future__ import annotations
+
+from .base import Hazard
+
+__all__ = ["register_hazard", "get_hazard", "hazard_names",
+           "iter_hazards"]
+
+_HAZARDS: dict[str, Hazard] = {}
+
+
+def register_hazard(hazard: Hazard) -> Hazard:
+    """Register a hazard instance under its :attr:`~Hazard.name`."""
+    if not hazard.name:
+        raise ValueError("hazard must have a non-empty name")
+    if hazard.name in _HAZARDS:
+        raise ValueError(f"hazard {hazard.name!r} registered twice")
+    _HAZARDS[hazard.name] = hazard
+    return hazard
+
+
+def get_hazard(hazard: str | Hazard) -> Hazard:
+    """Resolve a hazard name (or pass an instance through).
+
+    Accepting instances lets scenario bundles run parameterized
+    variants (e.g. a wind-stretched grid-fire) through the same code
+    paths the named stages use.
+    """
+    if isinstance(hazard, Hazard):
+        return hazard
+    try:
+        return _HAZARDS[hazard]
+    except KeyError:
+        known = ", ".join(sorted(_HAZARDS))
+        raise KeyError(
+            f"unknown hazard {hazard!r} (known: {known})") from None
+
+
+def hazard_names() -> tuple[str, ...]:
+    """Registered hazard names, sorted."""
+    return tuple(sorted(_HAZARDS))
+
+
+def iter_hazards() -> tuple[Hazard, ...]:
+    """Registered instances, in name order."""
+    return tuple(_HAZARDS[name] for name in hazard_names())

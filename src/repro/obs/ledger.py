@@ -190,10 +190,14 @@ def compare_runs(a: RunManifest, b: RunManifest, *,
     """Structured diff of two runs.
 
     Returns ``{"a", "b", "timers", "counters", "outputs",
-    "artifacts"}``: timers/counters as ``(name, a_value, b_value)``
-    rows over the union of names (timers below ``min_seconds`` on both
-    sides are dropped), outputs/artifacts as drift buckets
-    (``changed`` / ``added`` / ``removed`` relative to ``a``).
+    "artifacts", "context"}``: timers/counters as ``(name, a_value,
+    b_value)`` rows over the union of names (timers below
+    ``min_seconds`` on both sides are dropped), outputs/artifacts as
+    drift buckets (``changed`` / ``added`` / ``removed`` relative to
+    ``a``).  ``context`` lists deliberate configuration differences —
+    the runs joined different hazards or scenarios — as ``(key,
+    a_value, b_value)`` rows, so the renderer can label output drift
+    as a config change rather than unexplained divergence.
     """
     timer_rows = []
     for name in sorted(set(a.timers) | set(b.timers)):
@@ -213,6 +217,16 @@ def compare_runs(a: RunManifest, b: RunManifest, *,
             "removed": sorted(set(a_map) - set(b_map)),
         }
 
+    # Hazard/scenario selections live in the universe dict; older
+    # manifests predate the keys, so missing reads as None on both
+    # sides and never flags.
+    context_rows = []
+    for key in ("hazard", "scenario"):
+        av = (a.universe or {}).get(key)
+        bv = (b.universe or {}).get(key)
+        if av != bv:
+            context_rows.append((key, av, bv))
+
     return {
         "a": a,
         "b": b,
@@ -221,6 +235,7 @@ def compare_runs(a: RunManifest, b: RunManifest, *,
         "outputs": _drift(a.outputs, b.outputs, lambda v: v),
         "artifacts": _drift(a.artifacts, b.artifacts,
                             lambda v: v.get("sha256")),
+        "context": context_rows,
     }
 
 

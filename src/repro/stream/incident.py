@@ -21,16 +21,21 @@ Events carry no wall times — they are deterministic functions of the
 snapshots, so the JSONL export and the rendered diff table are
 byte-stable across machines and worker counts.
 
-:func:`run_scripted_incident` drives the scripted 2019 case-study
-fires (:func:`~repro.data.wildfires.scripted_2019_growth`) over a
-static background season; its final state is bit-identical to the
-batch ``season_overlay`` for 2019.
+:func:`run_scripted_incident` drives a hazard's incident model —
+year, background events, and a monotone growth series, resolved
+through the hazard registry (default ``"wildfire"``: the scripted
+2019 case-study fires over the static season, whose final state is
+bit-identical to the batch ``season_overlay`` for 2019).  Hazards
+that declare ``monotone_growth = False`` (e.g. ``wind``) refuse the
+stream loudly instead of corrupting the delta fold.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
 
 from ..core.overlay import (
     FireDelta,
@@ -40,10 +45,12 @@ from ..core.overlay import (
 )
 from ..data.cells import CellUniverse
 from ..data.universe import SyntheticUS
-from ..data.wildfires import FirePerimeter, scripted_2019_growth
 from ..obs.trace import span as trace_span
 from ..runtime.stats import STATS
 from ..session import StageOption, artifact, register_stage
+
+if TYPE_CHECKING:
+    from ..hazard.base import HazardEvent
 
 __all__ = [
     "TickEvent",
@@ -140,7 +147,7 @@ class IncidentState:
         self._cum_population = 0.0
 
     # ------------------------------------------------------------------
-    def ingest(self, fires: list[FirePerimeter]) -> TickEvent:
+    def ingest(self, fires: list[HazardEvent]) -> TickEvent:
         """Advance one tick from a complete snapshot of active fires.
 
         Only fires whose exterior ring bytes differ from the last
@@ -158,7 +165,7 @@ class IncidentState:
         return event
 
     def _ingest(self, tick: int,
-                fires: list[FirePerimeter]) -> TickEvent:
+                fires: list[HazardEvent]) -> TickEvent:
         deltas: list[FireDelta] = []
         changed: list[str] = []
         ignited: list[str] = []
@@ -216,28 +223,32 @@ class IncidentState:
 # ----------------------------------------------------------------------
 
 def run_scripted_incident(universe: SyntheticUS, n_ticks: int = 8, *,
-                          workers: int | None = None) -> StreamResult:
-    """Replay the 2019 season as a live incident.
+                          workers: int | None = None,
+                          hazard: str = "wildfire") -> StreamResult:
+    """Replay a hazard's incident model as a live stream.
 
-    Tick 0 ingests the season's *background* fires (already-final
-    perimeters — the season to date) plus whichever scripted
-    case-study fires have ignited; later ticks grow the scripted
-    fronts along :func:`scripted_2019_growth`.  Because the growth
-    series' last tick is the scripted fires' exact final perimeters,
-    the final state equals the batch 2019 ``season_overlay``
-    bit-for-bit.
+    The hazard supplies ``(year, background, growth_ticks)`` via
+    :meth:`~repro.hazard.base.Hazard.incident`; tick 0 ingests the
+    background events (already-final footprints) plus whichever
+    tracked fronts have ignited, later ticks grow the fronts.  For
+    the default wildfire hazard this is the scripted 2019 case study:
+    the growth series' last tick is the scripted fires' exact final
+    perimeters, so the final state equals the batch 2019
+    ``season_overlay`` bit-for-bit.
     """
-    growth = scripted_2019_growth(n_ticks)
-    scripted_names = {f.name for f in growth[-1]}
-    season = universe.fire_season(2019)
-    background = [f for f in season.fires
-                  if f.name not in scripted_names]
-    state = IncidentState(universe.cells, season.year,
+    from ..hazard.registry import get_hazard
+    hz = get_hazard(hazard)
+    if not hz.monotone_growth:
+        raise ValueError(
+            f"hazard {hz.name!r} has no monotone growth model; "
+            f"the delta-overlay stream requires one")
+    year, background, growth = hz.incident(universe, n_ticks)
+    state = IncidentState(universe.cells, year,
                           population=universe.population,
                           workers=workers)
     for snapshot in growth:
         state.ingest(background + snapshot)
-    return StreamResult(year=season.year, n_ticks=n_ticks,
+    return StreamResult(year=year, n_ticks=n_ticks,
                         events=state.events, final=state.result)
 
 
@@ -254,9 +265,11 @@ def write_events_jsonl(events: list[TickEvent], path) -> None:
 # ----------------------------------------------------------------------
 
 @artifact("stream_incident",
-          doc="tick-by-tick 2019 incident stream (delta overlay)")
-def _stream_incident_artifact(session, ticks: int = 8) -> StreamResult:
-    return run_scripted_incident(session.universe, n_ticks=ticks)
+          doc="tick-by-tick incident stream (delta overlay)")
+def _stream_incident_artifact(session, ticks: int = 8,
+                              hazard: str = "wildfire") -> StreamResult:
+    return run_scripted_incident(session.universe, n_ticks=ticks,
+                                 hazard=hazard)
 
 
 def _run_stream(session, args) -> str:
@@ -264,7 +277,18 @@ def _run_stream(session, args) -> str:
     ticks = getattr(args, "ticks", None) or 8
     if ticks < 2:
         raise SystemExit("repro stream: --ticks must be >= 2")
-    result = session.artifact("stream_incident", ticks=ticks)
+    hazard = getattr(args, "hazard", None) or "wildfire"
+    from ..hazard.registry import get_hazard
+    try:
+        hz = get_hazard(hazard)
+    except KeyError as exc:
+        raise SystemExit(f"repro stream: {exc.args[0]}")
+    if not hz.monotone_growth:
+        raise SystemExit(
+            f"repro stream: hazard {hz.name!r} has no monotone growth "
+            f"model; the delta-overlay stream requires one")
+    result = session.artifact("stream_incident", ticks=ticks,
+                              hazard=hazard)
     text = render_stream(result)
     jsonl = getattr(args, "jsonl", None)
     if jsonl:
@@ -290,10 +314,14 @@ register_stage("stream",
                help="live incident stream (delta spatial joins)",
                paper="§2.3", run=_run_stream,
                artifact="stream_incident", order=None,
+               domain="engine",
                options=(
                    StageOption("--ticks", type=int, default=8,
-                               help="growth ticks for the scripted "
-                                    "2019 fires (>= 2)"),
+                               help="growth ticks for the tracked "
+                                    "incident fronts (>= 2)"),
+                   StageOption("--hazard", type=str, default="wildfire",
+                               help="hazard instance to stream (must "
+                                    "declare monotone growth)"),
                    StageOption("--jsonl", type=str, default=None,
                                help="also export the event stream "
                                     "to this JSONL file"),

@@ -159,9 +159,9 @@ class TestComputeOnceAcrossRepr0All:
             log["overlay"].append((id(cells), kw.get("year")))
             return real_overlay(cells, fires, **kw)
 
-        def hazard_spy(session):
+        def hazard_spy(session, *args, **kwargs):
             log["hazard"].append(id(session))
-            return real_hazard(session)
+            return real_hazard(session, *args, **kwargs)
 
         mp.setattr(overlay_mod, "classify_cells", classify_spy)
         mp.setattr(overlay_mod, "overlay_fires", overlay_spy)

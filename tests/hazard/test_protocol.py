@@ -1,0 +1,158 @@
+"""Shared Hazard protocol conformance suite.
+
+Every registered hazard instance must satisfy the same contract the
+engine layers rely on: deterministic event generation under the
+universe seed, intensity surfaces whose classes stay in the ordinal
+0-5 vocabulary with stable content tokens, and — where the instance
+declares ``monotone_growth`` — per-tick fronts that only ever grow.
+The suite is parameterized over the registry, so a new hazard gets
+the contract checked by showing up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.hazard import (
+    Hazard,
+    get_hazard,
+    hazard_names,
+    iter_hazards,
+    register_hazard,
+)
+
+ALL_HAZARDS = sorted(hazard_names())
+
+
+def _event_token(events) -> str:
+    """Order-sensitive digest of names + exterior-ring bytes."""
+    h = hashlib.sha256()
+    for e in events:
+        h.update(e.name.encode())
+        h.update(np.int64(e.year).tobytes())
+        h.update(np.ascontiguousarray(
+            e.polygon.exterior, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+class TestRegistry:
+
+    def test_builtin_instances_registered(self):
+        assert {"wildfire", "grid_fire", "wind"} <= set(hazard_names())
+
+    def test_get_hazard_passes_instances_through(self):
+        hz = get_hazard("wildfire")
+        assert get_hazard(hz) is hz
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="wildfire"):
+            get_hazard("volcano")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_hazard(get_hazard("wildfire"))
+
+    def test_iter_yields_hazard_instances(self):
+        for hz in iter_hazards():
+            assert isinstance(hz, Hazard)
+            assert hz.name
+
+
+@pytest.mark.parametrize("name", ALL_HAZARDS)
+class TestEventDeterminism:
+    """Same (universe, year, member) → byte-identical events."""
+
+    def test_event_set_deterministic(self, universe, name):
+        hz = get_hazard(name)
+        a = hz.event_set(universe)
+        b = hz.event_set(universe)
+        assert a.year == b.year
+        assert _event_token(a.events) == _event_token(b.events)
+
+    def test_ensemble_members_deterministic(self, universe, name):
+        hz = get_hazard(name)
+        year = hz.default_year
+        one = _event_token(hz.ensemble_member(universe, year, 1))
+        again = _event_token(hz.ensemble_member(universe, year, 1))
+        assert one == again
+
+    def test_ensemble_members_independent(self, universe, name):
+        hz = get_hazard(name)
+        year = hz.default_year
+        tokens = {_event_token(hz.ensemble_member(universe, year, m))
+                  for m in range(3)}
+        assert len(tokens) == 3, "members must differ"
+
+    def test_events_carry_the_protocol_fields(self, universe, name):
+        hz = get_hazard(name)
+        events = hz.event_set(universe).events
+        assert events, f"{name} generated an empty season"
+        for e in events[:10]:
+            assert isinstance(e.name, str) and e.name
+            assert e.polygon.exterior.shape[1] == 2
+            assert e.acres > 0
+
+
+@pytest.mark.parametrize("name", ALL_HAZARDS)
+class TestIntensitySurface:
+    """The surface the tiled classifier samples."""
+
+    def test_classes_stay_in_ordinal_vocabulary(self, universe, name):
+        surface = get_hazard(name).intensity(universe)
+        cells = universe.cells
+        classes = np.asarray(surface.classify(cells.lons[:2000],
+                                              cells.lats[:2000]))
+        assert classes.min() >= 0
+        assert classes.max() <= 5
+
+    def test_content_token_stable(self, universe, name):
+        hz = get_hazard(name)
+        t1 = hz.intensity(universe).content_token()
+        t2 = hz.intensity(universe).content_token()
+        assert isinstance(t1, bytes) and len(t1) >= 16
+        assert t1 == t2
+
+
+@pytest.mark.parametrize("name", ALL_HAZARDS)
+class TestGrowthContract:
+    """monotone_growth=True means fronts only grow; False means the
+    stream refuses the hazard instead of producing wrong deltas."""
+
+    def test_growth_matches_declaration(self, universe, name):
+        hz = get_hazard(name)
+        if not hz.monotone_growth:
+            with pytest.raises((NotImplementedError, ValueError)):
+                hz.growth_series(universe, n_ticks=4)
+            return
+
+        ticks = hz.growth_series(universe, n_ticks=5)
+        assert len(ticks) == 5
+        for earlier, later in zip(ticks, ticks[1:]):
+            later_by_name = {e.name: e for e in later}
+            for small in earlier:
+                big = later_by_name.get(small.name)
+                if big is None or big is small:
+                    continue
+                assert big.acres >= small.acres
+                ring = small.polygon.exterior
+                inside = [big.polygon.contains(float(lon), float(lat))
+                          for lon, lat in ring[::3]]
+                assert all(inside), (
+                    f"{name}: front {small.name} escaped its "
+                    f"successor between ticks")
+
+    def test_final_tick_is_fully_grown(self, universe, name):
+        hz = get_hazard(name)
+        if not hz.monotone_growth:
+            pytest.skip("no growth model")
+        ticks = hz.growth_series(universe, n_ticks=4)
+        final_names = {e.name for e in ticks[-1]}
+        events = {e.name: e for e in hz.event_set(universe).events}
+        tracked = final_names & set(events)
+        assert tracked, "growth series tracks no season fire"
+        for e in ticks[-1]:
+            if e.name in events:
+                assert e.acres == pytest.approx(events[e.name].acres)

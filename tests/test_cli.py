@@ -233,7 +233,8 @@ class TestLedgerCLI:
         code, out = self._ledgered(led, "compare", "-2", "-1")
         assert code == 0
         assert "~ output fig7: content changed" in out
-        assert "~ artifact whp_classes: content changed" in out
+        assert ("~ artifact whp_classes(hazard='wildfire'): "
+                "content changed") in out
 
 
 class TestObservabilityFlags:
